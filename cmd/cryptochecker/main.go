@@ -1,0 +1,157 @@
+// Command cryptochecker checks Java sources against the 13 security rules
+// elicited by DiffCode (paper Figure 9):
+//
+//	cryptochecker [flags] file.java [dir ...]
+//
+// All named .java files (directories are walked recursively) are analyzed
+// together as one program. Android context for rule R6 comes from flags:
+//
+//	cryptochecker -android -minsdk 17 src/
+//
+// Exit status is 1 when at least one rule matches, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/androidctx"
+	"repro/internal/ruledsl"
+	"repro/internal/rules"
+)
+
+func main() {
+	var (
+		ruleList = flag.String("rules", "", "comma-separated rule IDs (default: all 13)")
+		ruleFile = flag.String("rulefile", "", "load additional rules from a file ('id | description | formula' lines)")
+		android  = flag.Bool("android", false, "treat the project as an Android app")
+		minSDK   = flag.Int("minsdk", 0, "Android minSdkVersion (for rule R6)")
+		lprng    = flag.Bool("lprng", false, "the Linux-PRNG SecureRandom fix is installed")
+		list     = flag.Bool("list", false, "list available rules and exit")
+		quiet    = flag.Bool("q", false, "print only rule IDs")
+		verbose  = flag.Bool("v", false, "explain each violation with the matched abstract usages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range rules.All() {
+			fmt.Printf("%-4s %s\n     %s\n", r.ID, r.Description, r.Formula)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "cryptochecker: no input files")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ruleSet := rules.All()
+	if *ruleList != "" {
+		ruleSet = nil
+		for _, id := range strings.Split(*ruleList, ",") {
+			r := rules.ByID(strings.TrimSpace(id))
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "cryptochecker: unknown rule %q\n", id)
+				os.Exit(2)
+			}
+			ruleSet = append(ruleSet, r)
+		}
+	}
+	if *ruleFile != "" {
+		content, err := os.ReadFile(*ruleFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+			os.Exit(1)
+		}
+		extra, err := ruledsl.ParseFile(string(content))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cryptochecker: %s: %v\n", *ruleFile, err)
+			os.Exit(1)
+		}
+		ruleSet = append(ruleSet, extra...)
+	}
+
+	sources := map[string]string{}
+	for _, arg := range flag.Args() {
+		if err := collect(arg, sources); err != nil {
+			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(sources) == 0 {
+		fmt.Fprintln(os.Stderr, "cryptochecker: no .java files found")
+		os.Exit(2)
+	}
+
+	ctx := rules.Context{Android: *android, MinSDKVersion: *minSDK, HasLPRNG: *lprng}
+	if !*android && *minSDK == 0 && !*lprng {
+		ctx = androidctx.Detect(sources)
+		if ctx.Android && !*quiet {
+			fmt.Fprintf(os.Stderr, "cryptochecker: detected Android project (minSdk %d, lprng fix %t)\n",
+				ctx.MinSDKVersion, ctx.HasLPRNG)
+		}
+	}
+	res := analysis.Analyze(analysis.ParseProgram(sources), analysis.Options{})
+	violations := rules.Check(res, ctx, ruleSet)
+
+	for _, v := range violations {
+		if *quiet {
+			fmt.Println(v.Rule.ID)
+			continue
+		}
+		if *verbose {
+			fmt.Print(rules.Explain(v, res))
+			continue
+		}
+		fmt.Printf("%s: %s\n", v.Rule.ID, v.Rule.Description)
+		fmt.Printf("    rule: %s\n", v.Rule.Formula)
+		for _, o := range v.Objs {
+			fmt.Printf("    at %s (line %d)\n", o.SiteLabel(), o.Site.Line)
+		}
+	}
+	if len(violations) > 0 {
+		if !*quiet {
+			fmt.Printf("\n%d rule(s) matched across %d file(s)\n", len(violations), len(sources))
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("no rule violations across %d file(s)\n", len(sources))
+	}
+}
+
+// collect gathers .java sources from a file or directory tree.
+func collect(path string, into map[string]string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		into[path] = string(b)
+		return nil
+	}
+	return filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		base := filepath.Base(p)
+		if !strings.HasSuffix(p, ".java") && base != "AndroidManifest.xml" &&
+			!strings.HasSuffix(p, ".gradle") && !strings.HasSuffix(p, ".gradle.kts") {
+			return nil
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		into[p] = string(b)
+		return nil
+	})
+}

@@ -1,0 +1,162 @@
+// Command diffcode runs the DiffCode pipeline. Two modes:
+//
+// Single change — abstract and diff two versions of one Java file:
+//
+//	diffcode -old Old.java -new New.java [-class Cipher]
+//
+// Corpus mining — mine a corpus directory (from corpusgen), filter, and
+// cluster the semantic usage changes of one target class:
+//
+//	diffcode -corpus /tmp/corpus -class Cipher
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/change"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cryptoapi"
+	"repro/internal/mining"
+	"repro/internal/textdiff"
+)
+
+func main() {
+	var (
+		oldFile   = flag.String("old", "", "old version of a Java file")
+		newFile   = flag.String("new", "", "new version of a Java file")
+		corpusDir = flag.String("corpus", "", "corpus directory produced by corpusgen")
+		class     = flag.String("class", "", "target API class (default: all six)")
+		depth     = flag.Int("depth", 5, "usage-DAG expansion depth")
+		showDiff  = flag.Bool("patch", false, "also print the textual patch (single-change mode)")
+		dot       = flag.Bool("dot", false, "emit the usage DAGs of both versions in Graphviz dot format (single-change mode)")
+	)
+	flag.Parse()
+
+	opts := core.Options{Depth: *depth}
+	classes := cryptoapi.TargetClasses
+	if *class != "" {
+		if !cryptoapi.IsTarget(*class) {
+			fmt.Fprintf(os.Stderr, "diffcode: unknown target class %q (want one of %v)\n",
+				*class, cryptoapi.TargetClasses)
+			os.Exit(2)
+		}
+		classes = []string{*class}
+	}
+
+	switch {
+	case *oldFile != "" && *newFile != "":
+		runSingle(*oldFile, *newFile, classes, opts, *showDiff, *dot)
+	case *corpusDir != "":
+		runCorpus(*corpusDir, classes, opts)
+	default:
+		fmt.Fprintln(os.Stderr, "diffcode: need either -old/-new or -corpus")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runSingle(oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool) {
+	oldSrc := mustRead(oldPath)
+	newSrc := mustRead(newPath)
+	if showDiff {
+		fmt.Println("--- patch ---")
+		fmt.Print(textdiff.Unified(oldSrc, newSrc, 2))
+		fmt.Println()
+	}
+	if dot {
+		for _, cls := range classes {
+			for i, g := range core.BuildDAGs(oldSrc, cls, opts) {
+				fmt.Print(g.DOT(fmt.Sprintf("old_%s_%d", cls, i)))
+			}
+			for i, g := range core.BuildDAGs(newSrc, cls, opts) {
+				fmt.Print(g.DOT(fmt.Sprintf("new_%s_%d", cls, i)))
+			}
+		}
+	}
+	d := core.New(opts)
+	a := d.AnalyzeChange(mining.CodeChange{
+		Old: oldSrc, New: newSrc,
+		Meta: change.Meta{File: newPath},
+	})
+	any := false
+	for _, cls := range classes {
+		for _, c := range d.ExtractClass(a, cls) {
+			if c.IsSame() {
+				continue
+			}
+			any = true
+			label := "semantic change"
+			switch {
+			case c.IsAddOnly():
+				label = "new usage added"
+			case c.IsRemoveOnly():
+				label = "usage removed"
+			}
+			fmt.Printf("%s (%s):\n%s\n", cls, label, c.String())
+		}
+	}
+	if !any {
+		fmt.Println("no semantic usage changes (refactoring or unrelated change)")
+	}
+}
+
+func runCorpus(dir string, classes []string, opts core.Options) {
+	c, err := corpus.Load(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+		os.Exit(1)
+	}
+	d := core.New(opts)
+	analyzed := d.MineCorpus(c)
+	fmt.Printf("mined %d code changes from %d training projects\n\n",
+		len(analyzed), len(c.TrainingProjects()))
+	for _, cls := range classes {
+		r := d.RunClass(analyzed, cls)
+		s := r.Stats
+		fmt.Printf("%s: %d usage changes → fsame %d → fadd %d → frem %d → fdup %d\n",
+			cls, s.Total, s.AfterSame, s.AfterAdd, s.AfterRem, s.AfterDup)
+		if len(r.Survivors) == 0 {
+			continue
+		}
+		fmt.Println("semantic usage changes:")
+		for _, uc := range r.Survivors {
+			fmt.Printf("  [%s %s] %s\n", uc.Meta.Project, uc.Meta.Commit, uc.Meta.Message)
+		}
+		if len(r.Survivors) > 1 {
+			root := d.ClusterChanges(r.Survivors)
+			fmt.Println("dendrogram:")
+			fmt.Print(indent(cluster.Render(root, func(i int) string {
+				uc := r.Survivors[i]
+				return fmt.Sprintf("[%s] %s", uc.Meta.Commit, uc.Meta.Message)
+			}), "  "))
+		}
+		fmt.Println()
+	}
+}
+
+func mustRead(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+		os.Exit(1)
+	}
+	return string(b)
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += prefix + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

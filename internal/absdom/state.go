@@ -1,0 +1,106 @@
+package absdom
+
+import "sort"
+
+// State is an abstract program state σa = (objs, η, ∆): allocated abstract
+// objects, an abstract heap mapping object fields to values, and the local
+// variable store. States are cloned cheaply at branch forks (maps are
+// copied; AObj identities are shared, which is what the per-allocation-site
+// abstraction requires).
+type State struct {
+	Vars   map[string]Value           // ∆: locals and parameters
+	Fields map[string]Value           // η restricted to this-fields: name → value
+	Heap   map[*AObj]map[string]Value // η for other abstract objects
+}
+
+// NewState returns an empty abstract state.
+func NewState() *State {
+	return &State{
+		Vars:   map[string]Value{},
+		Fields: map[string]Value{},
+		Heap:   map[*AObj]map[string]Value{},
+	}
+}
+
+// Clone deep-copies the state's maps (object identities are shared).
+func (s *State) Clone() *State {
+	c := NewState()
+	for k, v := range s.Vars {
+		c.Vars[k] = v
+	}
+	for k, v := range s.Fields {
+		c.Fields[k] = v
+	}
+	for o, fs := range s.Heap {
+		m := make(map[string]Value, len(fs))
+		for k, v := range fs {
+			m[k] = v
+		}
+		c.Heap[o] = m
+	}
+	return c
+}
+
+// LookupVar returns the abstract value of a local, or invalid if unbound.
+func (s *State) LookupVar(name string) (Value, bool) {
+	v, ok := s.Vars[name]
+	return v, ok
+}
+
+// LookupField returns the abstract value of a this-field.
+func (s *State) LookupField(name string) (Value, bool) {
+	v, ok := s.Fields[name]
+	return v, ok
+}
+
+// SetVar binds a local variable.
+func (s *State) SetVar(name string, v Value) { s.Vars[name] = v }
+
+// SetField binds a this-field.
+func (s *State) SetField(name string, v Value) { s.Fields[name] = v }
+
+// Join merges another state into this one pointwise (used when joining
+// branch forks is preferred over path explosion; the analyzer joins only
+// when the fork budget is exhausted). Unbound-on-one-side names degrade to
+// the bound value (the paper's analysis is a may-analysis over features).
+func (s *State) Join(o *State) {
+	for k, v := range o.Vars {
+		if cur, ok := s.Vars[k]; ok {
+			s.Vars[k] = Join(cur, v)
+		} else {
+			s.Vars[k] = v
+		}
+	}
+	for k, v := range o.Fields {
+		if cur, ok := s.Fields[k]; ok {
+			s.Fields[k] = Join(cur, v)
+		} else {
+			s.Fields[k] = v
+		}
+	}
+	for obj, fs := range o.Heap {
+		cur, ok := s.Heap[obj]
+		if !ok {
+			cur = map[string]Value{}
+			s.Heap[obj] = cur
+		}
+		for k, v := range fs {
+			if cv, ok := cur[k]; ok {
+				cur[k] = Join(cv, v)
+			} else {
+				cur[k] = v
+			}
+		}
+	}
+}
+
+// VarNames returns the bound local names in sorted order (deterministic
+// iteration for tests and rendering).
+func (s *State) VarNames() []string {
+	names := make([]string, 0, len(s.Vars))
+	for k := range s.Vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,409 @@
+// Package analysis implements the lightweight AST-based abstract interpreter
+// of the paper's §5.1. It discovers allocation sites of target API classes,
+// determines entry methods via a reverse call graph, and performs a forward
+// abstract execution from each entry — forking at branch points, inlining
+// calls inter-procedurally with a depth bound — to compute the abstract
+// usages AUses : AObjs → P(Methods × AStates).
+//
+// Like the paper's analyzer, it operates on partial programs (library code
+// and snippets), and does not model deep inheritance hierarchies or virtual
+// dispatch.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/cryptoapi"
+	"repro/internal/javaast"
+	"repro/internal/javaparser"
+)
+
+// Options configures the analyzer.
+type Options struct {
+	// MaxStates caps the number of simultaneously tracked execution forks
+	// per entry method; overflow states are joined. Default 16.
+	MaxStates int
+	// MaxInline bounds the call-inlining depth. Default 4.
+	MaxInline int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates <= 0 {
+		o.MaxStates = 16
+	}
+	if o.MaxInline <= 0 {
+		o.MaxInline = 4
+	}
+	return o
+}
+
+// File is one source file of the analyzed program version.
+type File struct {
+	Name string
+	Unit *javaast.CompilationUnit
+}
+
+// Program is a (possibly partial) Java program: a set of parsed files.
+type Program struct {
+	Files []File
+}
+
+// ParseProgram parses named sources into a Program, ignoring recoverable
+// syntax errors (partial programs are expected). Files with a non-.java
+// extension (manifests, build scripts) are skipped; names without any
+// extension are treated as Java snippets.
+func ParseProgram(sources map[string]string) *Program {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		if dot := strings.LastIndexByte(n, '.'); dot >= 0 && !strings.HasSuffix(n, ".java") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	p := &Program{}
+	for _, n := range names {
+		res := javaparser.Parse(sources[n])
+		p.Files = append(p.Files, File{Name: n, Unit: res.Unit})
+	}
+	return p
+}
+
+// Event is one element of AUses(o): a method invocation observed on an
+// abstract object together with the abstract values of its arguments (the
+// projection of the abstract state the DAG construction consumes).
+type Event struct {
+	Sig  cryptoapi.MethodSig
+	Args []absdom.Value
+}
+
+// Key returns a deduplication key for the event (signature plus argument
+// labels; object arguments key by allocation site identity).
+func (e Event) Key() string {
+	k := e.Sig.Key()
+	for _, a := range e.Args {
+		if a.Kind == absdom.KObj {
+			k += "|@" + a.Obj.SiteLabel() + fmt.Sprintf("#%d", a.Obj.ID)
+		} else {
+			k += "|" + a.Label()
+		}
+	}
+	return k
+}
+
+// Result holds the abstract usages of one program version.
+type Result struct {
+	// Objs lists all abstract objects in allocation-discovery order.
+	Objs []*absdom.AObj
+	// Uses maps each abstract object to its deduplicated events in
+	// first-observation order (the paper's AUses).
+	Uses map[*absdom.AObj][]Event
+}
+
+// ObjsOfType returns the abstract objects of the given class, in order.
+func (r *Result) ObjsOfType(typ string) []*absdom.AObj {
+	var out []*absdom.AObj
+	for _, o := range r.Objs {
+		if o.Type == typ {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Analyze runs the abstract interpretation over prog and returns AUses.
+func Analyze(prog *Program, opts Options) *Result {
+	an := newAnalyzer(prog, opts.withDefaults())
+	an.run()
+	return an.result()
+}
+
+// AnalyzeSource is a convenience wrapper for single-file programs.
+func AnalyzeSource(src string, opts Options) *Result {
+	return Analyze(ParseProgram(map[string]string{"Main.java": src}), opts)
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer internals
+// ---------------------------------------------------------------------------
+
+type classInfo struct {
+	decl    *javaast.TypeDecl
+	file    int
+	methods map[string][]*javaast.MethodDecl
+	fields  map[string]*javaast.FieldDecl
+	// fieldOrder preserves declaration order for initializer evaluation.
+	fieldOrder []string
+}
+
+type siteKey struct {
+	file   int
+	offset int
+}
+
+type analyzer struct {
+	prog    *Program
+	opts    Options
+	classes map[string]*classInfo
+	// classOrder: deterministic iteration.
+	classOrder []string
+
+	sites  map[siteKey]*absdom.AObj
+	nextID int
+
+	events     map[*absdom.AObj][]Event
+	eventKeys  map[*absdom.AObj]map[string]bool
+	objs       []*absdom.AObj
+	calledName map[string]bool
+	executed   map[*javaast.MethodDecl]bool
+
+	inlineStack []*javaast.MethodDecl
+	constCache  map[*javaast.FieldDecl]absdom.Value
+	constBusy   map[*javaast.FieldDecl]bool
+	curFile     int
+}
+
+func newAnalyzer(prog *Program, opts Options) *analyzer {
+	an := &analyzer{
+		prog:       prog,
+		opts:       opts,
+		classes:    map[string]*classInfo{},
+		sites:      map[siteKey]*absdom.AObj{},
+		events:     map[*absdom.AObj][]Event{},
+		eventKeys:  map[*absdom.AObj]map[string]bool{},
+		calledName: map[string]bool{},
+		executed:   map[*javaast.MethodDecl]bool{},
+	}
+	for fi, f := range prog.Files {
+		for _, t := range f.Unit.Types {
+			an.indexClass(t, fi)
+		}
+	}
+	// Build the coarse reverse call graph: record every invoked method name.
+	for _, f := range prog.Files {
+		javaast.Walk(f.Unit, func(n javaast.Node) bool {
+			if c, ok := n.(*javaast.Call); ok {
+				an.calledName[c.Name] = true
+			}
+			return true
+		})
+	}
+	return an
+}
+
+func (an *analyzer) indexClass(t *javaast.TypeDecl, file int) {
+	ci := &classInfo{
+		decl:    t,
+		file:    file,
+		methods: map[string][]*javaast.MethodDecl{},
+		fields:  map[string]*javaast.FieldDecl{},
+	}
+	for _, m := range t.Methods {
+		ci.methods[m.Name] = append(ci.methods[m.Name], m)
+	}
+	for _, fd := range t.Fields {
+		ci.fields[fd.Name] = fd
+		ci.fieldOrder = append(ci.fieldOrder, fd.Name)
+	}
+	if _, exists := an.classes[t.Name]; !exists {
+		an.classOrder = append(an.classOrder, t.Name)
+	}
+	an.classes[t.Name] = ci
+	for _, nested := range t.Nested {
+		an.indexClass(nested, file)
+	}
+}
+
+// allocObj returns the abstract object for an allocation site, creating it
+// on first use (per-allocation-site abstraction: one AObj per site across
+// all executions and forks).
+func (an *analyzer) allocObj(file int, pos javaast.Node, typ string) *absdom.AObj {
+	key := siteKey{file: file, offset: pos.Pos().Offset}
+	if o, ok := an.sites[key]; ok {
+		return o
+	}
+	an.nextID++
+	o := &absdom.AObj{ID: an.nextID, Type: typ, Site: pos.Pos()}
+	an.sites[key] = o
+	an.objs = append(an.objs, o)
+	return o
+}
+
+// record appends an event to AUses(o), deduplicating by event key.
+func (an *analyzer) record(o *absdom.AObj, ev Event) {
+	keys := an.eventKeys[o]
+	if keys == nil {
+		keys = map[string]bool{}
+		an.eventKeys[o] = keys
+	}
+	k := ev.Key()
+	if keys[k] {
+		return
+	}
+	keys[k] = true
+	an.events[o] = append(an.events[o], ev)
+}
+
+// run executes every entry method of every class, then sweeps up any methods
+// never executed (e.g. mutually recursive groups with no external entry) so
+// every allocation site is covered.
+func (an *analyzer) run() {
+	for _, name := range an.classOrder {
+		ci := an.classes[name]
+		for _, m := range an.entryMethods(ci) {
+			an.runEntry(ci, m)
+		}
+	}
+	for _, name := range an.classOrder {
+		ci := an.classes[name]
+		for _, ms := range orderedMethods(ci) {
+			if !an.executed[ms] && ms.Body != nil {
+				an.runEntry(ci, ms)
+			}
+		}
+	}
+}
+
+func orderedMethods(ci *classInfo) []*javaast.MethodDecl {
+	return ci.decl.Methods
+}
+
+// entryMethods returns the methods of ci that no code in the program calls
+// (by name), plus main. These approximate the paper's "entry methods that
+// can lead to executions that call method m".
+func (an *analyzer) entryMethods(ci *classInfo) []*javaast.MethodDecl {
+	var out []*javaast.MethodDecl
+	for _, m := range ci.decl.Methods {
+		if m.Body == nil {
+			continue
+		}
+		if m.Name == "main" || m.IsConstructor || !an.calledName[m.Name] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// runEntry performs a forward abstract execution of one entry method over a
+// fresh state with field initializers applied and parameters bound to ⊤
+// values of their declared types.
+func (an *analyzer) runEntry(ci *classInfo, m *javaast.MethodDecl) {
+	an.curFile = ci.file
+	st := absdom.NewState()
+	fr := &frame{an: an, ci: ci, varTypes: map[string]*javaast.TypeRef{}}
+	// Field initializers (and initializer blocks) run before the entry.
+	an.initFields(ci, st, fr)
+	for _, p := range m.Params {
+		st.SetVar(p.Name, absdom.TopOfType(p.Type.Base(), p.Type.Dims))
+		fr.varTypes[p.Name] = p.Type
+	}
+	an.execMethod(ci, m, nil, st, 0)
+}
+
+// initFields evaluates field initializers and initializer blocks into st.
+func (an *analyzer) initFields(ci *classInfo, st *absdom.State, fr *frame) {
+	for _, name := range ci.fieldOrder {
+		fd := ci.fields[name]
+		key := ci.decl.Name + "." + name
+		if fd.Init != nil {
+			v := an.eval(fd.Init, st, fr, 0)
+			v = refine(v, fd.Type)
+			st.SetField(key, v)
+		} else {
+			st.SetField(key, absdom.TopOfType(fd.Type.Base(), fd.Type.Dims))
+		}
+	}
+	for _, m := range ci.decl.Methods {
+		if m.Name == "<static-init>" || m.Name == "<instance-init>" {
+			an.execMethod(ci, m, nil, st, 0)
+		}
+	}
+}
+
+// refine upgrades a fully unknown value (untyped ⊤obj) to the ⊤ element of
+// the declared type, preserving anything more precise. It also corrects the
+// array family of bare initializers: `int[] xs = {1, 2}` evaluates the
+// initializer without type context (byte-ish by default), and the declared
+// type settles which constant-array domain it belongs to.
+func refine(v absdom.Value, typ *javaast.TypeRef) absdom.Value {
+	if typ == nil {
+		return v
+	}
+	if !v.IsValid() || (v.Kind == absdom.KTopObj && v.Type == "") {
+		return absdom.TopOfType(typ.Base(), typ.Dims)
+	}
+	if typ.Dims > 0 {
+		switch typ.Base() {
+		case "int", "long", "short":
+			if v.Kind == absdom.KConstByteArr {
+				return absdom.IntArrConst("const")
+			}
+			if v.Kind == absdom.KTopByteArr {
+				return absdom.TopIntArr()
+			}
+		case "String":
+			if v.Kind == absdom.KConstByteArr {
+				return absdom.StrArrConst("const")
+			}
+			if v.Kind == absdom.KTopByteArr {
+				return absdom.TopStrArr()
+			}
+		}
+	}
+	return v
+}
+
+// execMethod runs a method body with the given argument values, mutating st
+// to the join of all exit states, and returns the joined return value.
+func (an *analyzer) execMethod(ci *classInfo, m *javaast.MethodDecl, args []absdom.Value, st *absdom.State, depth int) absdom.Value {
+	if m.Body == nil {
+		return returnTop(m)
+	}
+	an.executed[m] = true
+	fr := &frame{an: an, ci: ci, varTypes: map[string]*javaast.TypeRef{}}
+	for i, p := range m.Params {
+		var v absdom.Value
+		if i < len(args) && args[i].IsValid() {
+			v = refine(args[i], p.Type)
+		} else {
+			v = absdom.TopOfType(p.Type.Base(), p.Type.Dims)
+		}
+		st.SetVar(p.Name, v)
+		fr.varTypes[p.Name] = p.Type
+	}
+	live := fr.execStmts(m.Body.Stmts, []*absdom.State{st}, depth)
+	// Join every surviving state (live and returned) back into st so field
+	// effects are visible to the caller.
+	for _, s := range append(live, fr.finished...) {
+		if s != st {
+			st.Join(s)
+		}
+	}
+	if len(fr.retVals) > 0 {
+		ret := fr.retVals[0]
+		for _, v := range fr.retVals[1:] {
+			ret = absdom.Join(ret, v)
+		}
+		return ret
+	}
+	return returnTop(m)
+}
+
+func returnTop(m *javaast.MethodDecl) absdom.Value {
+	if m.ReturnType == nil || m.ReturnType.Name == "void" {
+		return absdom.Value{}
+	}
+	return absdom.TopOfType(m.ReturnType.Base(), m.ReturnType.Dims)
+}
+
+// result snapshots the analyzer's usage map.
+func (an *analyzer) result() *Result {
+	res := &Result{Objs: an.objs, Uses: map[*absdom.AObj][]Event{}}
+	for o, evs := range an.events {
+		res.Uses[o] = evs
+	}
+	return res
+}

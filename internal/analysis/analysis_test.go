@@ -1,0 +1,683 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/absdom"
+	"repro/internal/cryptoapi"
+)
+
+// evKeys renders the events of an object compactly for assertions.
+func evKeys(r *Result, o *absdom.AObj) []string {
+	var out []string
+	for _, e := range r.Uses[o] {
+		parts := []string{e.Sig.Class + "." + e.Sig.Name}
+		for _, a := range e.Args {
+			parts = append(parts, a.Label())
+		}
+		out = append(out, strings.Join(parts, " "))
+	}
+	return out
+}
+
+func findEvent(r *Result, o *absdom.AObj, substr string) bool {
+	for _, k := range evKeys(r, o) {
+		if strings.Contains(k, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+const newVersionSrc = `
+class AESCipher {
+    Cipher enc, dec;
+    final String algorithm = "AES/CBC/PKCS5Padding";
+
+    protected void setKeyAndIV(Secret key, String iv) {
+        byte[] ivBytes;
+        IvParameterSpec ivSpec;
+        try {
+            ivBytes = Hex.decodeHex(iv.toCharArray());
+            ivSpec = new IvParameterSpec(ivBytes);
+            enc = Cipher.getInstance(algorithm);
+            enc.init(Cipher.ENCRYPT_MODE, key, ivSpec);
+            dec = Cipher.getInstance(algorithm);
+            dec.init(Cipher.DECRYPT_MODE, key, ivSpec);
+        } catch (Exception e) {
+        }
+    }
+}
+`
+
+// TestPaperExampleNewVersion checks the analysis result of Figure 2(c): two
+// Cipher objects, each with getInstance + init events, and an
+// IvParameterSpec object constructed from a non-constant byte array.
+func TestPaperExampleNewVersion(t *testing.T) {
+	r := AnalyzeSource(newVersionSrc, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 2 {
+		t.Fatalf("cipher objects = %d, want 2 (enc and dec sites)", len(ciphers))
+	}
+	enc := ciphers[0]
+	keys := evKeys(r, enc)
+	if len(keys) != 2 {
+		t.Fatalf("enc events = %v, want 2", keys)
+	}
+	if !findEvent(r, enc, `Cipher.getInstance "AES/CBC/PKCS5Padding"`) {
+		t.Errorf("missing getInstance event with folded field constant: %v", keys)
+	}
+	if !findEvent(r, enc, "Cipher.init ENCRYPT_MODE Secret IvParameterSpec") {
+		t.Errorf("missing init event: %v", keys)
+	}
+	ivs := r.ObjsOfType(cryptoapi.IvParameterSpec)
+	if len(ivs) != 1 {
+		t.Fatalf("iv objects = %d, want 1", len(ivs))
+	}
+	if !findEvent(r, ivs[0], "IvParameterSpec.<init> ⊤byte[]") {
+		t.Errorf("iv ctor event wrong: %v", evKeys(r, ivs[0]))
+	}
+	// dec uses DECRYPT_MODE.
+	if !findEvent(r, ciphers[1], "Cipher.init DECRYPT_MODE") {
+		t.Errorf("dec events: %v", evKeys(r, ciphers[1]))
+	}
+}
+
+const oldVersionSrc = `
+class AESCipher {
+    Cipher enc, dec;
+    final String algorithm = "AES";
+
+    protected void setKey(Secret key) {
+        try {
+            enc = Cipher.getInstance(algorithm);
+            enc.init(Cipher.ENCRYPT_MODE, key);
+            dec = Cipher.getInstance(algorithm);
+            dec.init(Cipher.DECRYPT_MODE, key);
+        } catch (Exception e) {
+        }
+    }
+}
+`
+
+func TestPaperExampleOldVersion(t *testing.T) {
+	r := AnalyzeSource(oldVersionSrc, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 2 {
+		t.Fatalf("cipher objects = %d, want 2", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `Cipher.getInstance "AES"`) {
+		t.Errorf("events: %v", evKeys(r, ciphers[0]))
+	}
+	if !findEvent(r, ciphers[0], "Cipher.init ENCRYPT_MODE Secret") {
+		t.Errorf("events: %v", evKeys(r, ciphers[0]))
+	}
+}
+
+func TestConstantByteArrayIV(t *testing.T) {
+	src := `
+class C {
+    void run(Key key) throws Exception {
+        byte[] iv = new byte[]{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+        IvParameterSpec spec = new IvParameterSpec(iv);
+        Cipher c = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        c.init(Cipher.ENCRYPT_MODE, key, spec);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ivs := r.ObjsOfType(cryptoapi.IvParameterSpec)
+	if len(ivs) != 1 {
+		t.Fatalf("iv objects = %d", len(ivs))
+	}
+	if !findEvent(r, ivs[0], "IvParameterSpec.<init> const_byte[]") {
+		t.Errorf("static IV not detected as constant: %v", evKeys(r, ivs[0]))
+	}
+}
+
+func TestRandomizedIVNotConstant(t *testing.T) {
+	src := `
+class C {
+    void run(Key key) throws Exception {
+        byte[] iv = new byte[16];
+        SecureRandom sr = new SecureRandom();
+        sr.nextBytes(iv);
+        IvParameterSpec spec = new IvParameterSpec(iv);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ivs := r.ObjsOfType(cryptoapi.IvParameterSpec)
+	if len(ivs) != 1 {
+		t.Fatalf("iv objects = %d", len(ivs))
+	}
+	if !findEvent(r, ivs[0], "IvParameterSpec.<init> ⊤byte[]") {
+		t.Errorf("nextBytes effect missed; events: %v", evKeys(r, ivs[0]))
+	}
+}
+
+func TestBranchForking(t *testing.T) {
+	src := `
+class C {
+    void run(boolean gcm, Key key) throws Exception {
+        String t;
+        if (gcm) { t = "AES/GCM/NoPadding"; } else { t = "AES/CBC/PKCS5Padding"; }
+        Cipher c = Cipher.getInstance(t);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 1 {
+		t.Fatalf("cipher objects = %d, want 1 (single allocation site)", len(ciphers))
+	}
+	// Both forked executions reach getInstance with their own constant.
+	if !findEvent(r, ciphers[0], `"AES/GCM/NoPadding"`) {
+		t.Errorf("missing GCM fork: %v", evKeys(r, ciphers[0]))
+	}
+	if !findEvent(r, ciphers[0], `"AES/CBC/PKCS5Padding"`) {
+		t.Errorf("missing CBC fork: %v", evKeys(r, ciphers[0]))
+	}
+}
+
+func TestInterproceduralInlining(t *testing.T) {
+	src := `
+class C {
+    Cipher cipher;
+    void setup(Key key) throws Exception {
+        cipher = make(transform());
+    }
+    Cipher make(String t) throws Exception {
+        return Cipher.getInstance(t);
+    }
+    String transform() { return "AES/GCM/NoPadding"; }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 1 {
+		t.Fatalf("cipher objects = %d, want 1", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `Cipher.getInstance "AES/GCM/NoPadding"`) {
+		t.Errorf("constant did not flow through two inlined calls: %v", evKeys(r, ciphers[0]))
+	}
+}
+
+func TestCrossClassStaticConstant(t *testing.T) {
+	srcs := map[string]string{
+		"Config.java": `
+class Config {
+    static final String ALGO = "DES/ECB/PKCS5Padding";
+}
+`,
+		"Main.java": `
+class Main {
+    void go() throws Exception {
+        Cipher c = Cipher.getInstance(Config.ALGO);
+    }
+}
+`,
+	}
+	r := Analyze(ParseProgram(srcs), Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 1 {
+		t.Fatalf("cipher objects = %d", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `"DES/ECB/PKCS5Padding"`) {
+		t.Errorf("cross-class constant not resolved: %v", evKeys(r, ciphers[0]))
+	}
+}
+
+func TestStaticFactoryOnQualifiedName(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        MessageDigest md = javax.security.MessageDigest.getInstance("SHA-256");
+        md.digest();
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	mds := r.ObjsOfType(cryptoapi.MessageDigest)
+	if len(mds) != 1 {
+		t.Fatalf("digest objects = %d", len(mds))
+	}
+	if !findEvent(r, mds[0], `MessageDigest.getInstance "SHA-256"`) {
+		t.Errorf("events: %v", evKeys(r, mds[0]))
+	}
+	if !findEvent(r, mds[0], "MessageDigest.digest") {
+		t.Errorf("digest() call not recorded: %v", evKeys(r, mds[0]))
+	}
+}
+
+func TestSecretKeySpecAndPBE(t *testing.T) {
+	src := `
+class K {
+    SecretKeySpec hardcoded() {
+        byte[] raw = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+        return new SecretKeySpec(raw, "AES");
+    }
+    PBEKeySpec weak(char[] pw) {
+        byte[] salt = new byte[]{1, 2, 3, 4};
+        return new PBEKeySpec(pw, salt, 100, 256);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	sks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(sks) != 1 || !findEvent(r, sks[0], `SecretKeySpec.<init> const_byte[] "AES"`) {
+		t.Errorf("SecretKeySpec events: %v", evKeys(r, sks[0]))
+	}
+	pbs := r.ObjsOfType(cryptoapi.PBEKeySpec)
+	if len(pbs) != 1 || !findEvent(r, pbs[0], "PBEKeySpec.<init> ⊤byte[] const_byte[] 100 256") {
+		t.Errorf("PBEKeySpec events: %v", evKeys(r, pbs[0]))
+	}
+}
+
+func TestSecureRandomVariants(t *testing.T) {
+	src := `
+class R {
+    void a() throws Exception {
+        SecureRandom r1 = new SecureRandom();
+        SecureRandom r2 = SecureRandom.getInstance("SHA1PRNG");
+        SecureRandom r3 = SecureRandom.getInstanceStrong();
+        r1.setSeed(new byte[]{1, 2, 3});
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	srs := r.ObjsOfType(cryptoapi.SecureRandom)
+	if len(srs) != 3 {
+		t.Fatalf("SecureRandom objects = %d, want 3", len(srs))
+	}
+	if !findEvent(r, srs[0], "SecureRandom.setSeed const_byte[]") {
+		t.Errorf("r1 events: %v", evKeys(r, srs[0]))
+	}
+	if !findEvent(r, srs[1], `SecureRandom.getInstance "SHA1PRNG"`) {
+		t.Errorf("r2 events: %v", evKeys(r, srs[1]))
+	}
+	if !findEvent(r, srs[2], "SecureRandom.getInstanceStrong") {
+		t.Errorf("r3 events: %v", evKeys(r, srs[2]))
+	}
+}
+
+func TestStringConcatFolding(t *testing.T) {
+	src := `
+class C {
+    static final String MODE = "CBC";
+    void go() throws Exception {
+        Cipher c = Cipher.getInstance("AES" + "/" + MODE + "/PKCS5Padding");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 1 || !findEvent(r, ciphers[0], `"AES/CBC/PKCS5Padding"`) {
+		t.Errorf("concat folding failed: %v", evKeys(r, ciphers[0]))
+	}
+}
+
+func TestLoopBodyAnalyzed(t *testing.T) {
+	src := `
+class C {
+    void go(int n) throws Exception {
+        for (int i = 0; i < n; i++) {
+            MessageDigest md = MessageDigest.getInstance("MD5");
+        }
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.MessageDigest)) != 1 {
+		t.Error("allocation inside loop body not discovered")
+	}
+}
+
+func TestDedupAcrossForks(t *testing.T) {
+	// The same call in both branches of downstream code must not duplicate
+	// events (AUses is a set).
+	src := `
+class C {
+    void go(boolean b, Key k) throws Exception {
+        Cipher c = Cipher.getInstance("AES");
+        if (b) { log(); } else { trace(); }
+        c.init(Cipher.ENCRYPT_MODE, k);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 1 {
+		t.Fatalf("ciphers = %d", len(ciphers))
+	}
+	if n := len(r.Uses[ciphers[0]]); n != 2 {
+		t.Errorf("events = %d (%v), want 2 (deduplicated)", n, evKeys(r, ciphers[0]))
+	}
+}
+
+func TestEntryMethodDiscovery(t *testing.T) {
+	// helper() is called by entry(); it must not be a separate entry, but
+	// its allocation must still be found through inlining.
+	src := `
+class C {
+    public void entry() throws Exception { helper(); }
+    private void helper() throws Exception {
+        Cipher c = Cipher.getInstance("AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.Cipher)) != 1 {
+		t.Error("allocation in helper not reached from entry")
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	src := `
+class C {
+    int f(int n) { return n <= 0 ? 0 : f(n - 1); }
+    void go() throws Exception {
+        f(10);
+        Cipher c = Cipher.getInstance("AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.Cipher)) != 1 {
+		t.Error("analysis lost allocation after recursive call")
+	}
+}
+
+func TestMutualRecursionSweep(t *testing.T) {
+	// a and b call each other; neither is an entry by the call-graph rule,
+	// so the post-pass sweep must still execute them.
+	src := `
+class C {
+    void a() throws Exception { b(); }
+    void b() throws Exception { a(); Cipher c = Cipher.getInstance("DES"); }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.Cipher)) != 1 {
+		t.Error("mutually recursive methods never executed")
+	}
+}
+
+func TestShadowingClassName(t *testing.T) {
+	// A local variable named like an API class shadows the class.
+	src := `
+class C {
+    void go(Cipher Cipher) throws Exception {
+        MessageDigest md = MessageDigest.getInstance("SHA-256");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.Cipher)) != 0 {
+		t.Error("shadowed class name treated as factory receiver")
+	}
+}
+
+func TestMacForR13(t *testing.T) {
+	src := `
+class C {
+    void go(Key k) throws Exception {
+        Mac m = Mac.getInstance("HmacSHA256");
+        m.init(k);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	macs := r.ObjsOfType(cryptoapi.Mac)
+	if len(macs) != 1 || !findEvent(r, macs[0], `Mac.getInstance "HmacSHA256"`) {
+		t.Errorf("Mac events: %v", evKeys(r, macs[0]))
+	}
+}
+
+func TestTernaryJoin(t *testing.T) {
+	src := `
+class C {
+    void go(boolean strong) throws Exception {
+        MessageDigest md = MessageDigest.getInstance(strong ? "SHA-256" : "MD5");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	mds := r.ObjsOfType(cryptoapi.MessageDigest)
+	if len(mds) != 1 {
+		t.Fatalf("digests = %d", len(mds))
+	}
+	// The ternary joins to ⊤str (both constants differ).
+	if !findEvent(r, mds[0], "MessageDigest.getInstance ⊤str") {
+		t.Errorf("events: %v", evKeys(r, mds[0]))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	render := func() string {
+		r := AnalyzeSource(newVersionSrc, Options{})
+		var sb strings.Builder
+		for _, o := range r.Objs {
+			sb.WriteString(o.SiteLabel())
+			for _, k := range evKeys(r, o) {
+				sb.WriteString("|" + k)
+			}
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("analysis output not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func BenchmarkAnalyzePaperExample(b *testing.B) {
+	prog := ParseProgram(map[string]string{"A.java": newVersionSrc})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(prog, Options{})
+	}
+}
+
+func TestStringMethodFolding(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        String mode = "cbc";
+        Cipher c = Cipher.getInstance(("aes/" + mode + "/pkcs5padding").toUpperCase());
+        MessageDigest md = MessageDigest.getInstance("  SHA-256  ".trim());
+        Cipher d = Cipher.getInstance("AES/ECB/X".replace("ECB", "GCM").replace("X", "NoPadding"));
+        Cipher e = Cipher.getInstance("YAES".substring(1));
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ciphers := r.ObjsOfType(cryptoapi.Cipher)
+	if len(ciphers) != 3 {
+		t.Fatalf("ciphers = %d", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `"AES/CBC/PKCS5PADDING"`) {
+		t.Errorf("toUpperCase fold failed: %v", evKeys(r, ciphers[0]))
+	}
+	if !findEvent(r, ciphers[1], `"AES/GCM/NoPadding"`) {
+		t.Errorf("replace fold failed: %v", evKeys(r, ciphers[1]))
+	}
+	if !findEvent(r, ciphers[2], `"AES"`) {
+		t.Errorf("substring fold failed: %v", evKeys(r, ciphers[2]))
+	}
+	mds := r.ObjsOfType(cryptoapi.MessageDigest)
+	if len(mds) != 1 || !findEvent(r, mds[0], `"SHA-256"`) {
+		t.Errorf("trim fold failed: %v", evKeys(r, mds[0]))
+	}
+}
+
+func TestHardcodedPasswordChars(t *testing.T) {
+	// "secret".toCharArray() is constant data — the PBE password argument
+	// must abstract to const_byte[] so hard-coded passwords are visible.
+	src := `
+class C {
+    void go() throws Exception {
+        PBEKeySpec s = new PBEKeySpec("hunter2".toCharArray(), salt(), 10000, 256);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	pbs := r.ObjsOfType(cryptoapi.PBEKeySpec)
+	if len(pbs) != 1 || !findEvent(r, pbs[0], "PBEKeySpec.<init> const_byte[]") {
+		t.Errorf("hard-coded password not constant: %v", evKeys(r, pbs[0]))
+	}
+}
+
+func TestConstantStringGetBytesKey(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        SecretKeySpec k = new SecretKeySpec("0123456789abcdef".getBytes(), "AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(ks) != 1 || !findEvent(r, ks[0], "SecretKeySpec.<init> const_byte[]") {
+		t.Errorf("string-literal key not constant: %v", evKeys(r, ks[0]))
+	}
+}
+
+func TestSwitchForking(t *testing.T) {
+	src := `
+class C {
+    void go(int mode, Key k) throws Exception {
+        String t;
+        switch (mode) {
+        case 1: t = "AES/CBC/PKCS5Padding"; break;
+        case 2: t = "AES/GCM/NoPadding"; break;
+        default: t = "AES"; break;
+        }
+        Cipher c = Cipher.getInstance(t);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	cs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(cs) != 1 {
+		t.Fatalf("ciphers = %d", len(cs))
+	}
+	for _, want := range []string{`"AES/CBC/PKCS5Padding"`, `"AES/GCM/NoPadding"`, `"AES"`} {
+		if !findEvent(r, cs[0], want) {
+			t.Errorf("switch fork lost %s: %v", want, evKeys(r, cs[0]))
+		}
+	}
+}
+
+func TestTryWithResources(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        try (AutoCloseable a = open()) {
+            MessageDigest md = MessageDigest.getInstance("SHA-256");
+        } catch (Exception e) {
+            MessageDigest fallback = MessageDigest.getInstance("MD5");
+        }
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if got := len(r.ObjsOfType(cryptoapi.MessageDigest)); got != 2 {
+		t.Errorf("digest allocations = %d, want 2 (try body and catch)", got)
+	}
+}
+
+func TestHeapFieldThroughObject(t *testing.T) {
+	// Values stored in another object's fields flow back out.
+	src := `
+class Holder { String transform; }
+class C {
+    void go() throws Exception {
+        Holder h = new Holder();
+        h.transform = "AES/GCM/NoPadding";
+        Cipher c = Cipher.getInstance(h.transform);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	cs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(cs) != 1 || !findEvent(r, cs[0], `"AES/GCM/NoPadding"`) {
+		t.Errorf("heap round trip failed: %v", evKeys(r, cs[0]))
+	}
+}
+
+func TestBase64HardcodedKey(t *testing.T) {
+	// A very common real-world pattern: a hard-coded key shipped base64-
+	// encoded. The abstraction must still see const_byte[].
+	src := `
+class C {
+    void go() throws Exception {
+        byte[] raw = Base64.getDecoder().decode("c2VjcmV0LWtleS0xMjM0NTY=");
+        SecretKeySpec k = new SecretKeySpec(raw, "AES");
+        byte[] iv = Hex.decodeHex("000102030405060708090a0b0c0d0e0f");
+        IvParameterSpec spec = new IvParameterSpec(iv);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(ks) != 1 || !findEvent(r, ks[0], "SecretKeySpec.<init> const_byte[]") {
+		t.Errorf("base64 hard-coded key missed: %v", evKeys(r, ks[0]))
+	}
+	ivs := r.ObjsOfType(cryptoapi.IvParameterSpec)
+	if len(ivs) != 1 || !findEvent(r, ivs[0], "IvParameterSpec.<init> const_byte[]") {
+		t.Errorf("hex hard-coded IV missed: %v", evKeys(r, ivs[0]))
+	}
+}
+
+func TestBase64RuntimeDataStaysTop(t *testing.T) {
+	src := `
+class C {
+    void go(String fromConfig) throws Exception {
+        byte[] raw = Base64.getDecoder().decode(fromConfig);
+        SecretKeySpec k = new SecretKeySpec(raw, "AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(ks) != 1 || !findEvent(r, ks[0], "SecretKeySpec.<init> ⊤byte[]") {
+		t.Errorf("runtime-decoded key wrongly constant: %v", evKeys(r, ks[0]))
+	}
+}
+
+func TestArraysCopyPreservesConstness(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        byte[] master = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+        byte[] sub = Arrays.copyOf(master, 16);
+        SecretKeySpec k = new SecretKeySpec(sub, "AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(ks) != 1 || !findEvent(r, ks[0], "SecretKeySpec.<init> const_byte[]") {
+		t.Errorf("Arrays.copyOf lost constness: %v", evKeys(r, ks[0]))
+	}
+}
+
+func TestParseIntFolding(t *testing.T) {
+	src := `
+class C {
+    void go(char[] pw, byte[] salt) throws Exception {
+        PBEKeySpec s = new PBEKeySpec(pw, salt, Integer.parseInt("100"), 256);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ps := r.ObjsOfType(cryptoapi.PBEKeySpec)
+	if len(ps) != 1 || !findEvent(r, ps[0], "PBEKeySpec.<init> ⊤byte[] ⊤byte[] 100 256") {
+		t.Errorf("parseInt fold missed: %v", evKeys(r, ps[0]))
+	}
+}

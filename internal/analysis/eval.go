@@ -1,0 +1,865 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/cryptoapi"
+	"repro/internal/javaast"
+)
+
+// eval computes the abstract value of an expression in state st, recording
+// API usage events and allocating abstract objects as side effects.
+func (an *analyzer) eval(e javaast.Expr, st *absdom.State, fr *frame, depth int) absdom.Value {
+	switch x := e.(type) {
+	case nil:
+		return absdom.Value{}
+
+	case *javaast.Literal:
+		return literalValue(x)
+
+	case *javaast.Name:
+		if v, ok := st.LookupVar(x.Ident); ok {
+			return v
+		}
+		if v, ok := an.lookupField(fr.ci, x.Ident, st); ok {
+			return v
+		}
+		return absdom.TopObj("")
+
+	case *javaast.FieldAccess:
+		return an.evalFieldAccess(x, st, fr, depth)
+
+	case *javaast.Call:
+		return an.evalCall(x, st, fr, depth)
+
+	case *javaast.New:
+		return an.evalNew(x, st, fr, depth)
+
+	case *javaast.NewArray:
+		return an.evalNewArray(x, st, fr, depth)
+
+	case *javaast.ArrayInit:
+		// Bare initializer; element type comes from the declaration, which
+		// refine() fixes afterward. Byte-ish is the common crypto case.
+		allConst := true
+		for _, el := range x.Elems {
+			if !an.eval(el, st, fr, depth).IsConst() {
+				allConst = false
+			}
+		}
+		if allConst {
+			return absdom.ConstByteArr()
+		}
+		return absdom.TopByteArr()
+
+	case *javaast.Index:
+		v := an.eval(x.X, st, fr, depth)
+		an.eval(x.I, st, fr, depth)
+		switch v.Kind {
+		case absdom.KConstByteArr:
+			return absdom.ConstByte()
+		case absdom.KTopByteArr:
+			return absdom.TopByte()
+		case absdom.KIntArrConst, absdom.KTopIntArr:
+			return absdom.TopInt()
+		case absdom.KStrArrConst, absdom.KTopStrArr:
+			return absdom.TopStr()
+		}
+		return absdom.TopObj("")
+
+	case *javaast.Binary:
+		l := an.eval(x.L, st, fr, depth)
+		r := an.eval(x.R, st, fr, depth)
+		return foldBinary(x.Op, l, r)
+
+	case *javaast.Unary:
+		v := an.eval(x.X, st, fr, depth)
+		return foldUnary(x.Op, v)
+
+	case *javaast.Assign:
+		return an.evalAssign(x, st, fr, depth)
+
+	case *javaast.Cond:
+		an.eval(x.C, st, fr, depth)
+		t := an.eval(x.T, st, fr, depth)
+		f := an.eval(x.F, st, fr, depth)
+		return absdom.Join(t, f)
+
+	case *javaast.Cast:
+		v := an.eval(x.X, st, fr, depth)
+		// A cast asserts the value's runtime type: any unknown object value
+		// refines to the ⊤ of the cast target (e.g. (byte[]) loaded()).
+		if !v.IsValid() || v.Kind == absdom.KTopObj {
+			return absdom.TopOfType(x.Type.Base(), x.Type.Dims)
+		}
+		return v
+
+	case *javaast.InstanceOf:
+		an.eval(x.X, st, fr, depth)
+		return absdom.TopInt()
+
+	case *javaast.This:
+		return absdom.TopObj(fr.ci.decl.Name)
+	case *javaast.Super:
+		return absdom.TopObj("")
+
+	case *javaast.ClassLit:
+		return absdom.TopObj("Class")
+	case *javaast.Lambda:
+		return absdom.TopObj("")
+	case *javaast.MethodRef:
+		return absdom.TopObj("")
+
+	default:
+		return absdom.Value{}
+	}
+}
+
+func literalValue(x *javaast.Literal) absdom.Value {
+	switch x.Kind {
+	case javaast.IntLit, javaast.LongLit, javaast.FloatLit, javaast.DoubleLit:
+		return absdom.IntConst(x.Value)
+	case javaast.CharLit:
+		return absdom.ConstByte()
+	case javaast.StringLit:
+		return absdom.StrConst(x.Value)
+	case javaast.BoolLit:
+		return absdom.BoolConst(x.Value == "true")
+	case javaast.NullLit:
+		return absdom.Null()
+	}
+	return absdom.Value{}
+}
+
+// ---------------------------------------------------------------------------
+// Field access
+// ---------------------------------------------------------------------------
+
+// lookupField resolves an unqualified field name in the current class,
+// falling back to the declared-type ⊤ for unbound fields.
+func (an *analyzer) lookupField(ci *classInfo, name string, st *absdom.State) (absdom.Value, bool) {
+	fd, ok := ci.fields[name]
+	if !ok {
+		return absdom.Value{}, false
+	}
+	if v, bound := st.LookupField(ci.decl.Name + "." + name); bound {
+		return v, true
+	}
+	return absdom.TopOfType(fd.Type.Base(), fd.Type.Dims), true
+}
+
+func (an *analyzer) evalFieldAccess(x *javaast.FieldAccess, st *absdom.State, fr *frame, depth int) absdom.Value {
+	// this.f
+	if _, isThis := x.X.(*javaast.This); isThis {
+		if v, ok := an.lookupField(fr.ci, x.Name, st); ok {
+			return v
+		}
+		return absdom.TopObj("")
+	}
+	// Qualified constant (Cipher.ENCRYPT_MODE, Build.VERSION.SDK_INT, ...).
+	if qual, ok := flattenName(x.X); ok {
+		full := qual + "." + x.Name
+		if sym, known := cryptoapi.LookupConstant(full); known {
+			return absdom.IntConst(sym)
+		}
+		base := lastSegment(qual)
+		// Static field of a program class: evaluate its initializer once.
+		if ci2, isClass := an.classes[base]; isClass && !an.isShadowed(base, st, fr) {
+			if fd, has := ci2.fields[x.Name]; has {
+				return an.staticFieldValue(ci2, fd)
+			}
+		}
+		// API-class or conventional ALL_CAPS constant: keep it symbolic.
+		if isClassLike(base) && isAllCaps(x.Name) {
+			return absdom.IntConst(x.Name)
+		}
+	}
+	// Heap access through an object value.
+	v := an.eval(x.X, st, fr, depth)
+	if v.Kind == absdom.KObj {
+		if fs, ok := st.Heap[v.Obj]; ok {
+			if fv, ok := fs[x.Name]; ok {
+				return fv
+			}
+		}
+		return absdom.TopObj("")
+	}
+	if v.Kind == absdom.KStrConst || v.Kind == absdom.KTopStr {
+		// String has no interesting fields; .length etc.
+		return absdom.TopInt()
+	}
+	if isAllCaps(x.Name) {
+		return absdom.IntConst(x.Name)
+	}
+	return absdom.TopObj("")
+}
+
+// staticFieldValue evaluates (and caches) the initializer of a static-ish
+// field accessed cross-class. A cycle guard breaks mutual recursion.
+func (an *analyzer) staticFieldValue(ci *classInfo, fd *javaast.FieldDecl) absdom.Value {
+	if an.constCache == nil {
+		an.constCache = map[*javaast.FieldDecl]absdom.Value{}
+		an.constBusy = map[*javaast.FieldDecl]bool{}
+	}
+	if v, ok := an.constCache[fd]; ok {
+		return v
+	}
+	if an.constBusy[fd] || fd.Init == nil {
+		return absdom.TopOfType(fd.Type.Base(), fd.Type.Dims)
+	}
+	an.constBusy[fd] = true
+	savedFile := an.curFile
+	an.curFile = ci.file
+	tmp := absdom.NewState()
+	tmpFr := &frame{an: an, ci: ci, varTypes: map[string]*javaast.TypeRef{}}
+	v := refine(an.eval(fd.Init, tmp, tmpFr, 0), fd.Type)
+	an.curFile = savedFile
+	an.constBusy[fd] = false
+	an.constCache[fd] = v
+	return v
+}
+
+// isShadowed reports whether a class-like name is shadowed by a local or
+// field binding.
+func (an *analyzer) isShadowed(name string, st *absdom.State, fr *frame) bool {
+	if _, ok := st.LookupVar(name); ok {
+		return true
+	}
+	_, ok := fr.ci.fields[name]
+	return ok
+}
+
+// flattenName renders a Name/FieldAccess chain as a dotted string.
+func flattenName(e javaast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *javaast.Name:
+		return x.Ident, true
+	case *javaast.FieldAccess:
+		if base, ok := flattenName(x.X); ok {
+			return base + "." + x.Name, true
+		}
+	}
+	return "", false
+}
+
+func lastSegment(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func isClassLike(name string) bool {
+	return name != "" && name[0] >= 'A' && name[0] <= 'Z'
+}
+
+func isAllCaps(name string) bool {
+	hasLetter := false
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' {
+			return false
+		}
+		if r >= 'A' && r <= 'Z' {
+			hasLetter = true
+		}
+	}
+	return hasLetter
+}
+
+// ---------------------------------------------------------------------------
+// Calls and allocations
+// ---------------------------------------------------------------------------
+
+func (an *analyzer) evalCall(c *javaast.Call, st *absdom.State, fr *frame, depth int) absdom.Value {
+	args := make([]absdom.Value, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = an.eval(a, st, fr, depth)
+	}
+
+	// Unqualified or this-qualified call: same-class method, inlined.
+	_, recvIsThis := c.Recv.(*javaast.This)
+	if c.Recv == nil || recvIsThis {
+		if ms := an.pickMethod(fr.ci, c.Name, len(args)); ms != nil {
+			return an.inlineCall(fr.ci, ms, args, st, depth)
+		}
+		return absdom.TopObj("")
+	}
+	if _, isSuper := c.Recv.(*javaast.Super); isSuper {
+		return absdom.TopObj("")
+	}
+
+	// Static call on a class reference (API class, program class, or
+	// qualified name like javax.crypto.Cipher).
+	if qual, ok := flattenName(c.Recv); ok {
+		base := lastSegment(qual)
+		if !an.isShadowed(base, st, fr) {
+			if cryptoapi.IsAPIClass(base) {
+				return an.apiStaticCall(base, c, args)
+			}
+			if ci2, isClass := an.classes[base]; isClass {
+				if ms := an.pickMethod(ci2, c.Name, len(args)); ms != nil {
+					return an.inlineCall(ci2, ms, args, st, depth)
+				}
+				return absdom.TopObj("")
+			}
+			if v, ok := foldWellKnownStatic(base, c.Name, args); ok {
+				return v
+			}
+		}
+	}
+	// Decoder-instance chains: Base64.getDecoder().decode("...").
+	if v, ok := an.foldDecoderChain(c, args, st, fr, depth); ok {
+		return v
+	}
+
+	// Instance call through an object value.
+	recv := an.eval(c.Recv, st, fr, depth)
+	if recv.Kind == absdom.KStrConst {
+		return foldStringMethod(recv.Payload, c.Name, args)
+	}
+	if recv.Kind == absdom.KObj && cryptoapi.IsAPIClass(recv.Obj.Type) {
+		sig, found := cryptoapi.LookupMethod(recv.Obj.Type, c.Name, len(args))
+		if !found {
+			sig = genericSig(recv.Obj.Type, c.Name, args)
+		}
+		an.record(recv.Obj, Event{Sig: sig, Args: args})
+		an.applyCallEffects(recv.Obj.Type, c, st, fr)
+		if sig.Ret != "" {
+			return topOfRetType(sig.Ret)
+		}
+		return absdom.Value{}
+	}
+	return absdom.TopObj("")
+}
+
+// apiStaticCall handles factory calls such as Cipher.getInstance("AES"):
+// the result is a fresh abstract object at this call's allocation site with
+// the factory invocation as its first event.
+func (an *analyzer) apiStaticCall(class string, c *javaast.Call, args []absdom.Value) absdom.Value {
+	sig, found := cryptoapi.LookupMethod(class, c.Name, len(args))
+	if found && sig.Static && sig.Ret != "" {
+		obj := an.allocObj(an.fileOf(c), c, sig.Ret)
+		an.record(obj, Event{Sig: sig, Args: args})
+		return absdom.ObjRef(obj)
+	}
+	return absdom.TopObj("")
+}
+
+// topOfRetType maps a modeled return-type name ("byte[]", "Key", "Cipher")
+// to its ⊤ abstract value, separating the array suffix from the base name.
+func topOfRetType(ret string) absdom.Value {
+	dims := 0
+	for strings.HasSuffix(ret, "[]") {
+		ret = strings.TrimSuffix(ret, "[]")
+		dims++
+	}
+	return absdom.TopOfType(ret, dims)
+}
+
+// genericSig builds an on-the-fly signature for calls on API objects that
+// the model does not list, so the feature language still captures them.
+func genericSig(class, name string, args []absdom.Value) cryptoapi.MethodSig {
+	params := make([]string, len(args))
+	for i, a := range args {
+		params[i] = paramTypeOf(a)
+	}
+	return cryptoapi.MethodSig{Class: class, Name: name, Params: params}
+}
+
+func paramTypeOf(v absdom.Value) string {
+	switch v.Kind {
+	case absdom.KIntConst, absdom.KTopInt, absdom.KBoolConst:
+		return "int"
+	case absdom.KStrConst, absdom.KTopStr:
+		return "String"
+	case absdom.KConstByteArr, absdom.KTopByteArr:
+		return "byte[]"
+	case absdom.KIntArrConst, absdom.KTopIntArr:
+		return "int[]"
+	case absdom.KStrArrConst, absdom.KTopStrArr:
+		return "String[]"
+	case absdom.KConstByte, absdom.KTopByte:
+		return "byte"
+	case absdom.KObj:
+		return v.Obj.Type
+	case absdom.KTopObj:
+		if v.Type != "" {
+			return v.Type
+		}
+	}
+	return "Object"
+}
+
+// applyCallEffects models API methods that mutate their arguments; the one
+// that matters for the abstraction is SecureRandom.nextBytes(buf), which
+// fills the buffer with random bytes — the buffer stops being constant.
+func (an *analyzer) applyCallEffects(class string, c *javaast.Call, st *absdom.State, fr *frame) {
+	if class != cryptoapi.SecureRandom || c.Name != "nextBytes" || len(c.Args) != 1 {
+		return
+	}
+	if n, ok := c.Args[0].(*javaast.Name); ok {
+		if _, isVar := st.LookupVar(n.Ident); isVar {
+			st.SetVar(n.Ident, absdom.TopByteArr())
+		} else if _, isField := fr.ci.fields[n.Ident]; isField {
+			st.SetField(fr.ci.decl.Name+"."+n.Ident, absdom.TopByteArr())
+		}
+	}
+	if fa, ok := c.Args[0].(*javaast.FieldAccess); ok {
+		if _, isThis := fa.X.(*javaast.This); isThis {
+			if _, isField := fr.ci.fields[fa.Name]; isField {
+				st.SetField(fr.ci.decl.Name+"."+fa.Name, absdom.TopByteArr())
+			}
+		}
+	}
+}
+
+// pickMethod selects a same-name method, preferring an exact arity match.
+func (an *analyzer) pickMethod(ci *classInfo, name string, arity int) *javaast.MethodDecl {
+	cands := ci.methods[name]
+	for _, m := range cands {
+		if len(m.Params) == arity {
+			return m
+		}
+	}
+	if len(cands) > 0 {
+		return cands[0]
+	}
+	return nil
+}
+
+// inlineCall executes a callee in the caller's state with the callee's own
+// variable scope, guarded against recursion and bounded by MaxInline.
+func (an *analyzer) inlineCall(ci *classInfo, m *javaast.MethodDecl, args []absdom.Value, st *absdom.State, depth int) absdom.Value {
+	if depth >= an.opts.MaxInline {
+		return returnTop(m)
+	}
+	for _, on := range an.inlineStack {
+		if on == m {
+			return returnTop(m)
+		}
+	}
+	an.inlineStack = append(an.inlineStack, m)
+	savedFile := an.curFile
+	an.curFile = ci.file
+	defer func() {
+		an.inlineStack = an.inlineStack[:len(an.inlineStack)-1]
+		an.curFile = savedFile
+	}()
+
+	// Save the caller's locals; the callee gets a fresh local namespace over
+	// the same field/heap state.
+	saved := st.Vars
+	st.Vars = map[string]absdom.Value{}
+	ret := an.execMethod(ci, m, args, st, depth+1)
+	st.Vars = saved
+	return ret
+}
+
+func (an *analyzer) evalNew(x *javaast.New, st *absdom.State, fr *frame, depth int) absdom.Value {
+	args := make([]absdom.Value, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = an.eval(a, st, fr, depth)
+	}
+	typ := x.Type.Base()
+	obj := an.allocObj(an.fileOf(x), x, typ)
+	sig, found := cryptoapi.LookupMethod(typ, "<init>", len(args))
+	if !found {
+		sig = genericSig(typ, "<init>", args)
+	}
+	an.record(obj, Event{Sig: sig, Args: args})
+	return absdom.ObjRef(obj)
+}
+
+func (an *analyzer) evalNewArray(x *javaast.NewArray, st *absdom.State, fr *frame, depth int) absdom.Value {
+	for _, l := range x.Lens {
+		an.eval(l, st, fr, depth)
+	}
+	elemConst := true
+	var labels []string
+	for _, el := range x.Elems {
+		v := an.eval(el, st, fr, depth)
+		if !v.IsConst() {
+			elemConst = false
+		}
+		labels = append(labels, v.Label())
+	}
+	switch x.Type.Name {
+	case "byte", "char":
+		// Both "new byte[]{...}" with constant elements and "new byte[n]"
+		// (an all-zero buffer until someone fills it) are constant arrays.
+		if elemConst {
+			return absdom.ConstByteArr()
+		}
+		return absdom.TopByteArr()
+	case "int", "long", "short":
+		if x.HasInit && elemConst {
+			return absdom.IntArrConst(strings.Join(labels, ","))
+		}
+		if !x.HasInit {
+			return absdom.IntArrConst("zero")
+		}
+		return absdom.TopIntArr()
+	case "String":
+		if x.HasInit && elemConst {
+			return absdom.StrArrConst(strings.Join(labels, ","))
+		}
+		return absdom.TopStrArr()
+	default:
+		return absdom.TopObj(x.Type.Name + "[]")
+	}
+}
+
+// evalAssign handles simple and compound assignment.
+func (an *analyzer) evalAssign(x *javaast.Assign, st *absdom.State, fr *frame, depth int) absdom.Value {
+	v := an.eval(x.R, st, fr, depth)
+	if x.Op != "=" {
+		cur := an.eval(x.L, st, fr, depth)
+		v = foldBinary(strings.TrimSuffix(x.Op, "="), cur, v)
+	}
+	an.assignTo(x.L, v, st, fr, depth)
+	return v
+}
+
+func (an *analyzer) assignTo(lhs javaast.Expr, v absdom.Value, st *absdom.State, fr *frame, depth int) {
+	switch l := lhs.(type) {
+	case *javaast.Name:
+		if _, isVar := st.LookupVar(l.Ident); isVar {
+			if t, ok := fr.varTypes[l.Ident]; ok {
+				v = refine(v, t)
+			}
+			st.SetVar(l.Ident, v)
+			return
+		}
+		if fd, isField := fr.ci.fields[l.Ident]; isField {
+			st.SetField(fr.ci.decl.Name+"."+l.Ident, refine(v, fd.Type))
+			return
+		}
+		st.SetVar(l.Ident, v)
+	case *javaast.FieldAccess:
+		if _, isThis := l.X.(*javaast.This); isThis {
+			if fd, isField := fr.ci.fields[l.Name]; isField {
+				st.SetField(fr.ci.decl.Name+"."+l.Name, refine(v, fd.Type))
+				return
+			}
+		}
+		recv := an.eval(l.X, st, fr, depth)
+		if recv.Kind == absdom.KObj {
+			fs := st.Heap[recv.Obj]
+			if fs == nil {
+				fs = map[string]absdom.Value{}
+				st.Heap[recv.Obj] = fs
+			}
+			fs[l.Name] = v
+		}
+	case *javaast.Index:
+		// Writing a non-constant element degrades a constant array.
+		base := an.eval(l.X, st, fr, depth)
+		if !v.IsConst() && base.Kind == absdom.KConstByteArr {
+			if n, ok := l.X.(*javaast.Name); ok {
+				if _, isVar := st.LookupVar(n.Ident); isVar {
+					st.SetVar(n.Ident, absdom.TopByteArr())
+				} else if _, isField := fr.ci.fields[n.Ident]; isField {
+					st.SetField(fr.ci.decl.Name+"."+n.Ident, absdom.TopByteArr())
+				}
+			}
+		}
+	}
+}
+
+func (an *analyzer) fileOf(n javaast.Node) int {
+	// Allocation sites are keyed by (file, offset); the analyzer currently
+	// tracks the file via the class being executed. A single counter space
+	// across files is preserved by including the file index in the key; we
+	// recover it from the frame-less context by using 0 when unknown. The
+	// executor always runs within one file at a time via curFile.
+	return an.curFile
+}
+
+// foldWellKnownStatic models a handful of ubiquitous JDK/commons static
+// helpers whose constness matters to the abstraction: decoding a *constant*
+// string yields constant bytes (hard-coded keys and IVs are very often
+// shipped base64- or hex-encoded), and numeric parses of constants stay
+// constant.
+func foldWellKnownStatic(class, method string, args []absdom.Value) (absdom.Value, bool) {
+	firstIsConstStr := len(args) >= 1 && args[0].Kind == absdom.KStrConst
+	firstConstData := len(args) >= 1 && args[0].IsConst()
+	switch class {
+	case "Base64", "Hex", "DatatypeConverter", "BaseEncoding":
+		switch method {
+		case "decode", "decodeHex", "decodeBase64", "parseBase64Binary", "parseHexBinary":
+			if firstConstData {
+				return absdom.ConstByteArr(), true
+			}
+			return absdom.TopByteArr(), true
+		case "encode", "encodeHex", "encodeBase64", "printBase64Binary", "encodeToString":
+			if firstConstData {
+				return absdom.StrConst("<encoded>"), true
+			}
+			return absdom.TopStr(), true
+		}
+	case "Integer", "Long", "Short":
+		if method == "parseInt" || method == "parseLong" || method == "valueOf" {
+			if firstIsConstStr {
+				return absdom.IntConst(args[0].Payload), true
+			}
+			return absdom.TopInt(), true
+		}
+	case "String":
+		if method == "valueOf" && len(args) == 1 {
+			if args[0].Kind == absdom.KIntConst || args[0].Kind == absdom.KBoolConst {
+				return absdom.StrConst(args[0].Payload), true
+			}
+			return absdom.TopStr(), true
+		}
+	case "Arrays":
+		switch method {
+		case "copyOf", "copyOfRange", "clone":
+			if firstConstData {
+				return args[0], true
+			}
+			if len(args) >= 1 {
+				return args[0], true // preserve the ⊤ family too
+			}
+		}
+	}
+	return absdom.Value{}, false
+}
+
+// foldDecoderChain handles Base64.getDecoder().decode(x) /
+// Base64.getEncoder().encodeToString(x) — the decoder object itself is
+// opaque, but the chain's constness is determined by x.
+func (an *analyzer) foldDecoderChain(c *javaast.Call, args []absdom.Value, st *absdom.State, fr *frame, depth int) (absdom.Value, bool) {
+	inner, ok := c.Recv.(*javaast.Call)
+	if !ok {
+		return absdom.Value{}, false
+	}
+	qual, ok := flattenName(inner.Recv)
+	if !ok || lastSegment(qual) != "Base64" || an.isShadowed("Base64", st, fr) {
+		return absdom.Value{}, false
+	}
+	switch inner.Name {
+	case "getDecoder", "getUrlDecoder", "getMimeDecoder":
+		if c.Name == "decode" {
+			if len(args) >= 1 && args[0].IsConst() {
+				return absdom.ConstByteArr(), true
+			}
+			return absdom.TopByteArr(), true
+		}
+	case "getEncoder", "getUrlEncoder", "getMimeEncoder":
+		if c.Name == "encodeToString" || c.Name == "encode" {
+			if len(args) >= 1 && args[0].IsConst() {
+				return absdom.StrConst("<encoded>"), true
+			}
+			return absdom.TopStr(), true
+		}
+	}
+	return absdom.Value{}, false
+}
+
+// foldStringMethod evaluates pure java.lang.String methods on constant
+// receivers, keeping configuration strings precise through common
+// manipulations like ("aes/" + mode).toUpperCase().
+func foldStringMethod(s, method string, args []absdom.Value) absdom.Value {
+	strArg := func(i int) (string, bool) {
+		if i < len(args) && args[i].Kind == absdom.KStrConst {
+			return args[i].Payload, true
+		}
+		return "", false
+	}
+	intArg := func(i int) (int64, bool) {
+		if i < len(args) {
+			return parseInt(args[i])
+		}
+		return 0, false
+	}
+	switch method {
+	case "toUpperCase":
+		if len(args) == 0 {
+			return absdom.StrConst(strings.ToUpper(s))
+		}
+	case "toLowerCase":
+		if len(args) == 0 {
+			return absdom.StrConst(strings.ToLower(s))
+		}
+	case "trim", "strip":
+		if len(args) == 0 {
+			return absdom.StrConst(strings.TrimSpace(s))
+		}
+	case "intern", "toString":
+		if len(args) == 0 {
+			return absdom.StrConst(s)
+		}
+	case "concat":
+		if a, ok := strArg(0); ok {
+			return absdom.StrConst(s + a)
+		}
+	case "replace":
+		if from, ok := strArg(0); ok {
+			if to, ok2 := strArg(1); ok2 {
+				return absdom.StrConst(strings.ReplaceAll(s, from, to))
+			}
+		}
+	case "substring":
+		if lo, ok := intArg(0); ok && lo >= 0 && lo <= int64(len(s)) {
+			if len(args) == 1 {
+				return absdom.StrConst(s[lo:])
+			}
+			if hi, ok2 := intArg(1); ok2 && hi >= lo && hi <= int64(len(s)) {
+				return absdom.StrConst(s[lo:hi])
+			}
+		}
+	case "length":
+		if len(args) == 0 {
+			return intVal(int64(len(s)))
+		}
+	case "isEmpty":
+		if len(args) == 0 {
+			return absdom.BoolConst(len(s) == 0)
+		}
+	case "equals", "equalsIgnoreCase":
+		if a, ok := strArg(0); ok {
+			if method == "equals" {
+				return absdom.BoolConst(s == a)
+			}
+			return absdom.BoolConst(strings.EqualFold(s, a))
+		}
+		return absdom.TopInt()
+	case "startsWith":
+		if a, ok := strArg(0); ok {
+			return absdom.BoolConst(strings.HasPrefix(s, a))
+		}
+		return absdom.TopInt()
+	case "getBytes":
+		return absdom.ConstByteArr() // bytes of a constant string are constant
+	case "toCharArray":
+		return absdom.ConstByteArr() // chars of a constant (e.g. a hard-coded password)
+	case "split":
+		return absdom.TopStrArr()
+	}
+	return absdom.TopObj("")
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+func foldBinary(op string, l, r absdom.Value) absdom.Value {
+	if op == "+" {
+		if l.Kind == absdom.KStrConst && r.Kind == absdom.KStrConst {
+			return absdom.StrConst(l.Payload + r.Payload)
+		}
+		if l.Kind == absdom.KStrConst && (r.Kind == absdom.KIntConst || r.Kind == absdom.KBoolConst) {
+			return absdom.StrConst(l.Payload + r.Payload)
+		}
+		if r.Kind == absdom.KStrConst && (l.Kind == absdom.KIntConst || l.Kind == absdom.KBoolConst) {
+			return absdom.StrConst(l.Payload + r.Payload)
+		}
+		if isStringy(l) || isStringy(r) {
+			return absdom.TopStr()
+		}
+	}
+	li, lok := parseInt(l)
+	ri, rok := parseInt(r)
+	if lok && rok {
+		switch op {
+		case "+":
+			return intVal(li + ri)
+		case "-":
+			return intVal(li - ri)
+		case "*":
+			return intVal(li * ri)
+		case "/":
+			if ri != 0 {
+				return intVal(li / ri)
+			}
+		case "%":
+			if ri != 0 {
+				return intVal(li % ri)
+			}
+		case "<<":
+			if ri >= 0 && ri < 64 {
+				return intVal(li << uint(ri))
+			}
+		case ">>":
+			if ri >= 0 && ri < 64 {
+				return intVal(li >> uint(ri))
+			}
+		case "&":
+			return intVal(li & ri)
+		case "|":
+			return intVal(li | ri)
+		case "^":
+			return intVal(li ^ ri)
+		case "==":
+			return absdom.BoolConst(li == ri)
+		case "!=":
+			return absdom.BoolConst(li != ri)
+		case "<":
+			return absdom.BoolConst(li < ri)
+		case "<=":
+			return absdom.BoolConst(li <= ri)
+		case ">":
+			return absdom.BoolConst(li > ri)
+		case ">=":
+			return absdom.BoolConst(li >= ri)
+		}
+	}
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+		return absdom.TopInt()
+	}
+	if isBytey(l) || isBytey(r) {
+		return absdom.TopByte()
+	}
+	return absdom.TopInt()
+}
+
+func foldUnary(op string, v absdom.Value) absdom.Value {
+	switch op {
+	case "-":
+		if i, ok := parseInt(v); ok {
+			return intVal(-i)
+		}
+		return absdom.TopInt()
+	case "+":
+		return v
+	case "!":
+		if v.Kind == absdom.KBoolConst {
+			return absdom.BoolConst(v.Payload != "true")
+		}
+		return absdom.TopInt()
+	case "~":
+		if i, ok := parseInt(v); ok {
+			return intVal(^i)
+		}
+		return absdom.TopInt()
+	case "++", "--":
+		return absdom.TopInt()
+	}
+	return v
+}
+
+func isStringy(v absdom.Value) bool {
+	return v.Kind == absdom.KStrConst || v.Kind == absdom.KTopStr
+}
+
+func isBytey(v absdom.Value) bool {
+	return v.Kind == absdom.KConstByte || v.Kind == absdom.KTopByte
+}
+
+func parseInt(v absdom.Value) (int64, bool) {
+	if v.Kind != absdom.KIntConst {
+		return 0, false
+	}
+	s := v.Payload
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, true
+	}
+	return 0, false
+}
+
+func intVal(i int64) absdom.Value {
+	return absdom.IntConst(strconv.FormatInt(i, 10))
+}

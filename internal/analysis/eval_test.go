@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/absdom"
+	"repro/internal/cryptoapi"
+)
+
+// TestFoldBinary covers the constant-folding arithmetic table.
+func TestFoldBinary(t *testing.T) {
+	i := absdom.IntConst
+	cases := []struct {
+		op   string
+		l, r absdom.Value
+		want absdom.Value
+	}{
+		{"+", i("2"), i("3"), i("5")},
+		{"-", i("2"), i("3"), i("-1")},
+		{"*", i("4"), i("3"), i("12")},
+		{"/", i("9"), i("2"), i("4")},
+		{"%", i("9"), i("2"), i("1")},
+		{"/", i("9"), i("0"), absdom.TopInt()}, // division by zero degrades
+		{"%", i("9"), i("0"), absdom.TopInt()},
+		{"<<", i("1"), i("4"), i("16")},
+		{">>", i("16"), i("2"), i("4")},
+		{"&", i("6"), i("3"), i("2")},
+		{"|", i("6"), i("3"), i("7")},
+		{"^", i("6"), i("3"), i("5")},
+		{"==", i("2"), i("2"), absdom.BoolConst(true)},
+		{"!=", i("2"), i("2"), absdom.BoolConst(false)},
+		{"<", i("1"), i("2"), absdom.BoolConst(true)},
+		{"<=", i("2"), i("2"), absdom.BoolConst(true)},
+		{">", i("1"), i("2"), absdom.BoolConst(false)},
+		{">=", i("3"), i("2"), absdom.BoolConst(true)},
+		{"+", absdom.StrConst("a"), absdom.StrConst("b"), absdom.StrConst("ab")},
+		{"+", absdom.StrConst("n="), i("7"), absdom.StrConst("n=7")},
+		{"+", i("7"), absdom.StrConst("!"), absdom.StrConst("7!")},
+		{"+", absdom.StrConst("x"), absdom.TopStr(), absdom.TopStr()},
+		{"+", absdom.TopStr(), i("1"), absdom.TopStr()},
+		{"==", absdom.TopInt(), i("1"), absdom.TopInt()},
+		{"&&", absdom.BoolConst(true), absdom.TopInt(), absdom.TopInt()},
+		{"+", absdom.ConstByte(), absdom.TopByte(), absdom.TopByte()},
+		{"<<", i("1"), i("99"), absdom.TopInt()}, // out-of-range shift
+	}
+	for _, c := range cases {
+		got := foldBinary(c.op, c.l, c.r)
+		if !got.Equal(c.want) {
+			t.Errorf("fold(%s %s %s) = %s, want %s",
+				c.l.Label(), c.op, c.r.Label(), got.Label(), c.want.Label())
+		}
+	}
+}
+
+func TestFoldUnary(t *testing.T) {
+	i := absdom.IntConst
+	cases := []struct {
+		op   string
+		x    absdom.Value
+		want absdom.Value
+	}{
+		{"-", i("5"), i("-5")},
+		{"-", absdom.TopInt(), absdom.TopInt()},
+		{"+", i("5"), i("5")},
+		{"!", absdom.BoolConst(true), absdom.BoolConst(false)},
+		{"!", absdom.BoolConst(false), absdom.BoolConst(true)},
+		{"!", absdom.TopInt(), absdom.TopInt()},
+		{"~", i("0"), i("-1")},
+		{"~", absdom.TopInt(), absdom.TopInt()},
+		{"++", i("1"), absdom.TopInt()},
+		{"--", i("1"), absdom.TopInt()},
+	}
+	for _, c := range cases {
+		if got := foldUnary(c.op, c.x); !got.Equal(c.want) {
+			t.Errorf("fold(%s%s) = %s, want %s", c.op, c.x.Label(), got.Label(), c.want.Label())
+		}
+	}
+}
+
+func TestLiteralValues(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        long big = 900000L;
+        double d = 1.5;
+        float f = 2.5f;
+        char ch = 'x';
+        boolean b = true;
+        Object nil = null;
+        PBEKeySpec s = new PBEKeySpec(pw(), salt(), 100, 256);
+    }
+}
+`
+	// Just exercise the literal kinds end-to-end; the PBE event anchors the
+	// assertion that analysis ran.
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.PBEKeySpec)) != 1 {
+		t.Fatal("analysis did not complete")
+	}
+}
+
+func TestStringMethodEdgeCases(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // expected arg label of getInstance
+	}{
+		{`"aes".toUpperCase()`, `"AES"`},
+		{`"AES".toLowerCase()`, `"aes"`},
+		{`"AES".intern()`, `"AES"`},
+		{`"AES".toString()`, `"AES"`},
+		{`"A".concat("ES")`, `"AES"`},
+		{`"XAESX".substring(1, 4)`, `"AES"`},
+		{`"AES".substring(9)`, "⊤obj"},    // out-of-range: degrade
+		{`"AES".split("/")`, "⊤str[]"},    // array result
+		{`"AES".unknownMethod()`, "⊤obj"}, // unmodeled method
+	}
+	for _, c := range cases {
+		src := `
+class C { void go() throws Exception { Cipher x = Cipher.getInstance(` + c.expr + `); } }`
+		r := AnalyzeSource(src, Options{})
+		objs := r.ObjsOfType(cryptoapi.Cipher)
+		if len(objs) != 1 {
+			t.Fatalf("%s: objs = %d", c.expr, len(objs))
+		}
+		if !findEvent(r, objs[0], c.want) {
+			t.Errorf("%s: events %v, want arg %s", c.expr, evKeys(r, objs[0]), c.want)
+		}
+	}
+}
+
+func TestStringPredicatesFold(t *testing.T) {
+	// equals/startsWith on constants fold to booleans, steering branches.
+	src := `
+class C {
+    void go(Key k) throws Exception {
+        String alg = "AES";
+        int n = alg.length();
+        boolean e = alg.equals("AES");
+        boolean i = alg.equalsIgnoreCase("aes");
+        boolean s = alg.startsWith("AE");
+        boolean z = alg.isEmpty();
+        Cipher c = Cipher.getInstance(alg + "/CBC/" + "PKCS5Padding");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	objs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(objs) != 1 || !findEvent(r, objs[0], `"AES/CBC/PKCS5Padding"`) {
+		t.Fatalf("events: %v", evKeys(r, objs[0]))
+	}
+}
+
+func TestIntAndStringArrays(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        int[] ints = {1, 2, 3};
+        int[] zero = new int[4];
+        String[] names = {"a", "b"};
+        String[] empty = new String[2];
+        int one = ints[0];
+        String nm = names[1];
+        SecureRandom r = new SecureRandom();
+        r.setSeed(ints[0]);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	srs := r.ObjsOfType(cryptoapi.SecureRandom)
+	if len(srs) != 1 {
+		t.Fatal("analysis failed")
+	}
+	// ints[0] is ⊤int (element values are not tracked) → setSeed(⊤int).
+	if !findEvent(r, srs[0], "SecureRandom.setSeed ⊤int") {
+		t.Errorf("events: %v", evKeys(r, srs[0]))
+	}
+}
+
+func TestCompoundAssignOnField(t *testing.T) {
+	src := `
+class C {
+    String mode = "AES";
+    void go() throws Exception {
+        mode += "/GCM/NoPadding";
+        Cipher c = Cipher.getInstance(mode);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	objs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(objs) != 1 || !findEvent(r, objs[0], `"AES/GCM/NoPadding"`) {
+		t.Errorf("compound field assign: %v", evKeys(r, objs[0]))
+	}
+}
+
+func TestConstArrayElementWrite(t *testing.T) {
+	// Writing a non-constant element degrades a constant byte array.
+	src := `
+class C {
+    void go() throws Exception {
+        byte[] iv = {1, 2, 3, 4, 5, 6, 7, 8};
+        iv[0] = entropy();
+        IvParameterSpec spec = new IvParameterSpec(iv);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ivs := r.ObjsOfType(cryptoapi.IvParameterSpec)
+	if len(ivs) != 1 || !findEvent(r, ivs[0], "IvParameterSpec.<init> ⊤byte[]") {
+		t.Errorf("element write did not degrade constness: %v", evKeys(r, ivs[0]))
+	}
+}
+
+func TestNextBytesOnField(t *testing.T) {
+	src := `
+class C {
+    byte[] nonce = new byte[12];
+    void go() throws Exception {
+        SecureRandom r = new SecureRandom();
+        r.nextBytes(this.nonce);
+        IvParameterSpec spec = new IvParameterSpec(nonce);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ivs := r.ObjsOfType(cryptoapi.IvParameterSpec)
+	if len(ivs) != 1 || !findEvent(r, ivs[0], "IvParameterSpec.<init> ⊤byte[]") {
+		t.Errorf("nextBytes(this.field) effect missed: %v", evKeys(r, ivs[0]))
+	}
+}
+
+func TestGenericSigForUnmodeledAPICall(t *testing.T) {
+	// A call on a Cipher object not in the model still records an event
+	// with an on-the-fly signature (paramTypeOf coverage).
+	src := `
+class C {
+    void go(Key k) throws Exception {
+        Cipher c = Cipher.getInstance("AES/GCM/NoPadding");
+        c.updateAAD(new byte[]{1}, 0, "tag", k, c);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	objs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(objs) != 1 || !findEvent(r, objs[0], "Cipher.updateAAD") {
+		t.Errorf("unmodeled call not recorded: %v", evKeys(r, objs[0]))
+	}
+}
+
+func TestCastRefinement(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        Object raw = loadKeyMaterial();
+        byte[] bytes = (byte[]) raw;
+        SecretKeySpec k = new SecretKeySpec(bytes, "AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(ks) != 1 || !findEvent(r, ks[0], "SecretKeySpec.<init> ⊤byte[]") {
+		t.Errorf("cast refinement: %v", evKeys(r, ks[0]))
+	}
+}
+
+func TestLambdaAndMethodRefOpaque(t *testing.T) {
+	src := `
+class C {
+    void go() throws Exception {
+        Runnable r = () -> work();
+        Runnable r2 = C::work2;
+        MessageDigest md = MessageDigest.getInstance("SHA-256");
+    }
+    static void work2() {}
+}
+`
+	r := AnalyzeSource(src, Options{})
+	if len(r.ObjsOfType(cryptoapi.MessageDigest)) != 1 {
+		t.Error("analysis derailed by lambda/method-ref")
+	}
+}
+
+func TestFoldWellKnownStaticTable(t *testing.T) {
+	cb := absdom.ConstByteArr()
+	top := absdom.TopByteArr()
+	cases := []struct {
+		class, method string
+		args          []absdom.Value
+		want          absdom.Value
+		ok            bool
+	}{
+		{"Base64", "decode", []absdom.Value{absdom.StrConst("AA==")}, cb, true},
+		{"Base64", "decode", []absdom.Value{absdom.TopStr()}, top, true},
+		{"Hex", "decodeHex", []absdom.Value{absdom.StrConst("ff")}, cb, true},
+		{"DatatypeConverter", "parseBase64Binary", []absdom.Value{absdom.StrConst("x")}, cb, true},
+		{"Base64", "encodeToString", []absdom.Value{cb}, absdom.StrConst("<encoded>"), true},
+		{"Base64", "encode", []absdom.Value{top}, absdom.TopStr(), true},
+		{"Integer", "parseInt", []absdom.Value{absdom.StrConst("42")}, absdom.IntConst("42"), true},
+		{"Integer", "parseInt", []absdom.Value{absdom.TopStr()}, absdom.TopInt(), true},
+		{"Long", "valueOf", []absdom.Value{absdom.StrConst("7")}, absdom.IntConst("7"), true},
+		{"String", "valueOf", []absdom.Value{absdom.IntConst("3")}, absdom.StrConst("3"), true},
+		{"String", "valueOf", []absdom.Value{absdom.TopInt()}, absdom.TopStr(), true},
+		{"Arrays", "copyOf", []absdom.Value{cb, absdom.IntConst("4")}, cb, true},
+		{"Arrays", "copyOfRange", []absdom.Value{top, absdom.IntConst("0")}, top, true},
+		{"Files", "readAllBytes", []absdom.Value{absdom.TopStr()}, absdom.Value{}, false},
+	}
+	for _, c := range cases {
+		got, ok := foldWellKnownStatic(c.class, c.method, c.args)
+		if ok != c.ok {
+			t.Errorf("%s.%s: ok = %t, want %t", c.class, c.method, ok, c.ok)
+			continue
+		}
+		if ok && !got.Equal(c.want) {
+			t.Errorf("%s.%s = %s, want %s", c.class, c.method, got.Label(), c.want.Label())
+		}
+	}
+}
+
+func TestAllCapsConstantConvention(t *testing.T) {
+	// Unknown ALL_CAPS fields on class-like receivers become symbolic ints.
+	src := `
+class C {
+    void go(Key k) throws Exception {
+        Cipher c = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        c.init(Settings.CUSTOM_MODE, k);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	objs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(objs) != 1 || !findEvent(r, objs[0], "CUSTOM_MODE") {
+		t.Errorf("symbolic constant missed: %v", evKeys(r, objs[0]))
+	}
+}
+
+func TestMaxStatesJoin(t *testing.T) {
+	// With a fork budget of 1 the two branch constants join to ⊤str.
+	src := `
+class C {
+    void go(boolean b) throws Exception {
+        String t;
+        if (b) { t = "AES"; } else { t = "DES"; }
+        Cipher c = Cipher.getInstance(t);
+    }
+}
+`
+	r := AnalyzeSource(src, Options{MaxStates: 1})
+	objs := r.ObjsOfType(cryptoapi.Cipher)
+	if len(objs) != 1 {
+		t.Fatal("no cipher")
+	}
+	if !findEvent(r, objs[0], "Cipher.getInstance ⊤str") {
+		t.Errorf("budget-1 fork should join to ⊤str: %v", evKeys(r, objs[0]))
+	}
+}
+
+func TestAPIReturnTypes(t *testing.T) {
+	// digest() returns byte[] → ⊤byte[] flows into downstream key material.
+	src := `
+class C {
+    void go() throws Exception {
+        MessageDigest md = MessageDigest.getInstance("SHA-256");
+        byte[] h = md.digest();
+        SecretKeySpec k = new SecretKeySpec(h, "AES");
+    }
+}
+`
+	r := AnalyzeSource(src, Options{})
+	ks := r.ObjsOfType(cryptoapi.SecretKeySpec)
+	if len(ks) != 1 || !findEvent(r, ks[0], "SecretKeySpec.<init> ⊤byte[]") {
+		t.Errorf("digest() return type mishandled: %v", evKeys(r, ks[0]))
+	}
+}

@@ -1,0 +1,113 @@
+// Package androidctx derives the project context that rule R6 depends on
+// (is this an Android app? what is its minSdkVersion? is the Linux-PRNG
+// SecureRandom workaround installed?) from the project's own files:
+// AndroidManifest.xml, Gradle build scripts, and the presence of the
+// well-known PRNGFixes class from the Android security advisory.
+package androidctx
+
+import (
+	"encoding/xml"
+	"path"
+	"strconv"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// manifest mirrors the subset of AndroidManifest.xml we need.
+type manifest struct {
+	XMLName xml.Name `xml:"manifest"`
+	UsesSdk struct {
+		MinSdkVersion    string `xml:"http://schemas.android.com/apk/res/android minSdkVersion,attr"`
+		TargetSdkVersion string `xml:"http://schemas.android.com/apk/res/android targetSdkVersion,attr"`
+	} `xml:"uses-sdk"`
+}
+
+// ParseManifest extracts the minSdkVersion from AndroidManifest.xml
+// content. The boolean reports whether the content parsed as a manifest.
+func ParseManifest(content string) (minSDK int, ok bool) {
+	var m manifest
+	if err := xml.Unmarshal([]byte(content), &m); err != nil {
+		return 0, false
+	}
+	if v, err := strconv.Atoi(strings.TrimSpace(m.UsesSdk.MinSdkVersion)); err == nil {
+		return v, true
+	}
+	// A manifest without uses-sdk is still an Android project.
+	return 0, true
+}
+
+// ParseGradle scans a Gradle build script for a minSdkVersion setting,
+// accepting both `minSdkVersion 16` and `minSdkVersion = 16` (and the
+// newer `minSdk 16`).
+func ParseGradle(content string) (minSDK int, ok bool) {
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		for _, key := range []string{"minSdkVersion", "minSdk"} {
+			if !strings.HasPrefix(line, key) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, key))
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, "="))
+			// Strip trailing comments.
+			if i := strings.IndexAny(rest, " \t/"); i > 0 {
+				rest = rest[:i]
+			}
+			if v, err := strconv.Atoi(rest); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// HasPRNGFixes reports whether the source tree contains the PRNGFixes
+// workaround class (the LPRNG fix from the Android advisory), detected by
+// its canonical class name or the apply() entry point it documents.
+func HasPRNGFixes(files map[string]string) bool {
+	for p, content := range files {
+		base := path.Base(p)
+		if base == "PRNGFixes.java" {
+			return true
+		}
+		if strings.HasSuffix(base, ".java") &&
+			(strings.Contains(content, "class PRNGFixes") ||
+				strings.Contains(content, "PRNGFixes.apply()")) {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect derives the rule context from a project's files. A project is
+// Android when it carries an AndroidManifest.xml or a Gradle script with a
+// minSdkVersion; the manifest takes precedence for the SDK level.
+func Detect(files map[string]string) rules.Context {
+	ctx := rules.Context{}
+	var gradleSDK int
+	for p, content := range files {
+		switch {
+		case path.Base(p) == "AndroidManifest.xml":
+			if sdk, ok := ParseManifest(content); ok {
+				ctx.Android = true
+				if sdk > 0 {
+					ctx.MinSDKVersion = sdk
+				}
+			}
+		case strings.HasSuffix(p, ".gradle") || strings.HasSuffix(p, ".gradle.kts"):
+			if sdk, ok := ParseGradle(content); ok {
+				gradleSDK = sdk
+			}
+		}
+	}
+	if gradleSDK > 0 {
+		ctx.Android = true
+		if ctx.MinSDKVersion == 0 {
+			ctx.MinSDKVersion = gradleSDK
+		}
+	}
+	if ctx.Android {
+		ctx.HasLPRNG = HasPRNGFixes(files)
+	}
+	return ctx
+}

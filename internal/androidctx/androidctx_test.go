@@ -1,0 +1,101 @@
+package androidctx
+
+import "testing"
+
+const sampleManifest = `<?xml version="1.0" encoding="utf-8"?>
+<manifest xmlns:android="http://schemas.android.com/apk/res/android"
+    package="com.example.app">
+    <uses-sdk android:minSdkVersion="16" android:targetSdkVersion="23" />
+    <application android:label="Demo" />
+</manifest>`
+
+func TestParseManifest(t *testing.T) {
+	sdk, ok := ParseManifest(sampleManifest)
+	if !ok || sdk != 16 {
+		t.Errorf("ParseManifest = %d, %t; want 16, true", sdk, ok)
+	}
+	// Manifest without uses-sdk is still recognized.
+	sdk, ok = ParseManifest(`<manifest package="a.b"></manifest>`)
+	if !ok || sdk != 0 {
+		t.Errorf("bare manifest = %d, %t", sdk, ok)
+	}
+	if _, ok := ParseManifest("not xml at all"); ok {
+		t.Error("garbage parsed as manifest")
+	}
+	if _, ok := ParseManifest(`<resources></resources>`); ok {
+		t.Error("non-manifest XML accepted")
+	}
+}
+
+func TestParseGradle(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+		ok   bool
+	}{
+		{"android {\n  defaultConfig {\n    minSdkVersion 17\n  }\n}", 17, true},
+		{"minSdkVersion = 21", 21, true},
+		{"minSdk 19", 19, true},
+		{"minSdkVersion 18 // raised for security", 18, true},
+		{"compileSdkVersion 33", 0, false},
+		{"", 0, false},
+		{"minSdkVersion rootProject.minSdk", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseGradle(c.src)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseGradle(%q) = %d, %t; want %d, %t", c.src, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestHasPRNGFixes(t *testing.T) {
+	if !HasPRNGFixes(map[string]string{"src/security/PRNGFixes.java": "public final class PRNGFixes {}"}) {
+		t.Error("PRNGFixes.java not detected by name")
+	}
+	if !HasPRNGFixes(map[string]string{"src/App.java": "void init() { PRNGFixes.apply(); }"}) {
+		t.Error("PRNGFixes.apply() call not detected")
+	}
+	if HasPRNGFixes(map[string]string{"src/App.java": "class App {}"}) {
+		t.Error("false positive")
+	}
+	if HasPRNGFixes(map[string]string{"notes/PRNGFixes.txt": "class PRNGFixes"}) {
+		t.Error("non-java file should not count")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	files := map[string]string{
+		"AndroidManifest.xml": sampleManifest,
+		"src/App.java":        "class App {}",
+	}
+	ctx := Detect(files)
+	if !ctx.Android || ctx.MinSDKVersion != 16 || ctx.HasLPRNG {
+		t.Errorf("ctx = %+v", ctx)
+	}
+
+	files["src/PRNGFixes.java"] = "public final class PRNGFixes {}"
+	ctx = Detect(files)
+	if !ctx.HasLPRNG {
+		t.Error("LPRNG fix not detected")
+	}
+
+	gradleOnly := map[string]string{"app/build.gradle": "minSdkVersion 21"}
+	ctx = Detect(gradleOnly)
+	if !ctx.Android || ctx.MinSDKVersion != 21 {
+		t.Errorf("gradle-only ctx = %+v", ctx)
+	}
+
+	// Manifest SDK wins over Gradle.
+	both := map[string]string{
+		"AndroidManifest.xml": sampleManifest,
+		"build.gradle":        "minSdkVersion 23",
+	}
+	if got := Detect(both); got.MinSDKVersion != 16 {
+		t.Errorf("manifest precedence broken: %+v", got)
+	}
+
+	if got := Detect(map[string]string{"Main.java": "class Main {}"}); got.Android {
+		t.Errorf("plain project detected as Android: %+v", got)
+	}
+}

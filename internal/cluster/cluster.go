@@ -1,0 +1,220 @@
+// Package cluster implements the agglomerative hierarchical clustering of
+// the paper's §4.3: usage changes are leaves, the distance metric is
+// usageDist, and clusters merge bottom-up under a configurable linkage
+// (complete linkage in the paper; single linkage is provided for the
+// ablation benchmarks). The resulting dendrogram is what the analyst
+// inspects to elicit security rules (Figure 8).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/change"
+	"repro/internal/textdist"
+)
+
+// Linkage selects how inter-cluster distance is computed.
+type Linkage int
+
+// Supported linkages.
+const (
+	// Complete linkage: clusterDist(X, Y) = max usageDist over pairs.
+	Complete Linkage = iota
+	// Single linkage: min over pairs (chains clusters; ablation only).
+	Single
+	// Average linkage (UPGMA).
+	Average
+)
+
+// Node is a dendrogram node. Leaves carry Item >= 0 (index into the input
+// slice); internal nodes carry the merge Height (the linkage distance at
+// which their children merged).
+type Node struct {
+	Item        int // leaf index, -1 for internal nodes
+	Left, Right *Node
+	Height      float64
+	size        int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Item >= 0 }
+
+// Size returns the number of leaves under the node.
+func (n *Node) Size() int { return n.size }
+
+// Items returns the leaf indices under the node in left-to-right order.
+func (n *Node) Items() []int {
+	var out []int
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if x.IsLeaf() {
+			out = append(out, x.Item)
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	return out
+}
+
+// DistMatrix computes the symmetric usageDist matrix over usage changes.
+func DistMatrix(changes []change.UsageChange) [][]float64 {
+	n := len(changes)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := textdist.UsageDist(
+				changes[i].Removed, changes[i].Added,
+				changes[j].Removed, changes[j].Added)
+			d[i][j] = dist
+			d[j][i] = dist
+		}
+	}
+	return d
+}
+
+// Agglomerate builds the dendrogram over the given usage changes. It
+// returns nil for empty input; a single change yields a lone leaf.
+func Agglomerate(changes []change.UsageChange, linkage Linkage) *Node {
+	return AgglomerateMatrix(DistMatrix(changes), linkage)
+}
+
+// AgglomerateMatrix clusters from a precomputed distance matrix.
+// Ties break deterministically on the smallest (i, j) pair.
+func AgglomerateMatrix(dist [][]float64, linkage Linkage) *Node {
+	n := len(dist)
+	if n == 0 {
+		return nil
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Item: i, size: 1}
+	}
+	// Working copy of the distance matrix between active clusters.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = append([]float64{}, dist[i]...)
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := n
+	for remaining > 1 {
+		bi, bj := -1, -1
+		best := math.MaxFloat64
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					best = d[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		merged := &Node{Item: -1, Left: nodes[bi], Right: nodes[bj],
+			Height: best, size: nodes[bi].size + nodes[bj].size}
+		// Lance-Williams update into slot bi; retire bj.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case Complete:
+				nd = math.Max(d[k][bi], d[k][bj])
+			case Single:
+				nd = math.Min(d[k][bi], d[k][bj])
+			case Average:
+				si := float64(nodes[bi].size)
+				sj := float64(nodes[bj].size)
+				nd = (si*d[k][bi] + sj*d[k][bj]) / (si + sj)
+			}
+			d[k][bi] = nd
+			d[bi][k] = nd
+		}
+		nodes[bi] = merged
+		active[bj] = false
+		remaining--
+	}
+	for i := 0; i < n; i++ {
+		if active[i] {
+			return nodes[i]
+		}
+	}
+	return nil
+}
+
+// Cut slices the dendrogram at a height threshold: every maximal subtree
+// whose merge height is <= threshold becomes one cluster. Clusters are
+// returned largest-first (ties by smallest member index).
+func (n *Node) Cut(threshold float64) [][]int {
+	if n == nil {
+		return nil
+	}
+	var clusters [][]int
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x.IsLeaf() || x.Height <= threshold {
+			clusters = append(clusters, x.Items())
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	sort.SliceStable(clusters, func(i, j int) bool {
+		if len(clusters[i]) != len(clusters[j]) {
+			return len(clusters[i]) > len(clusters[j])
+		}
+		return clusters[i][0] < clusters[j][0]
+	})
+	return clusters
+}
+
+// Render draws an ASCII dendrogram with one leaf per line, in the style of
+// the paper's Figure 8. labelFn supplies the leaf captions.
+func Render(root *Node, labelFn func(i int) string) string {
+	if root == nil {
+		return ""
+	}
+	var sb strings.Builder
+	var walk func(n *Node, prefix string, isLast bool)
+	walk = func(n *Node, prefix string, isLast bool) {
+		connector := "├─"
+		childPrefix := prefix + "│ "
+		if isLast {
+			connector = "└─"
+			childPrefix = prefix + "  "
+		}
+		if n.IsLeaf() {
+			fmt.Fprintf(&sb, "%s%s %s\n", prefix, connector, labelFn(n.Item))
+			return
+		}
+		fmt.Fprintf(&sb, "%s%s [h=%.3f]\n", prefix, connector, n.Height)
+		walk(n.Left, childPrefix, false)
+		walk(n.Right, childPrefix, true)
+	}
+	if root.IsLeaf() {
+		return labelFn(root.Item) + "\n"
+	}
+	fmt.Fprintf(&sb, "[h=%.3f]\n", root.Height)
+	walk(root.Left, "", false)
+	walk(root.Right, "", true)
+	return sb.String()
+}

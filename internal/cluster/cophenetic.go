@@ -1,0 +1,75 @@
+package cluster
+
+import "math"
+
+// CopheneticMatrix computes the cophenetic distance between every pair of
+// leaves: the merge height at which the two leaves first join the same
+// cluster. It is the standard device for judging how faithfully a
+// dendrogram represents the underlying distances.
+func CopheneticMatrix(root *Node, n int) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		if x == nil || x.IsLeaf() {
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+		for _, i := range x.Left.Items() {
+			for _, j := range x.Right.Items() {
+				d[i][j] = x.Height
+				d[j][i] = x.Height
+			}
+		}
+	}
+	walk(root)
+	return d
+}
+
+// CopheneticCorrelation is the Pearson correlation between the original
+// pairwise distances and the cophenetic distances of the dendrogram built
+// from them — 1.0 means the tree reproduces the metric perfectly. Returns 0
+// for degenerate inputs (fewer than two leaves or zero variance).
+func CopheneticCorrelation(dist [][]float64, root *Node) float64 {
+	n := len(dist)
+	if n < 2 || root == nil {
+		return 0
+	}
+	coph := CopheneticMatrix(root, n)
+	var xs, ys []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			xs = append(xs, dist[i][j])
+			ys = append(ys, coph[i][j])
+		}
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,128 @@
+package cluster
+
+// Silhouette analysis for choosing the dendrogram cut automatically. The
+// paper's analyst picks clusters by eye; CutAuto mechanizes the choice by
+// scanning the merge heights and keeping the partition with the highest
+// mean silhouette width.
+
+// Silhouette computes the mean silhouette width of a partition (clusters of
+// item indices) under the given distance matrix. Singleton clusters
+// contribute 0 (the standard convention). Returns 0 for degenerate
+// partitions (one cluster or all singletons).
+func Silhouette(dist [][]float64, clusters [][]int) float64 {
+	if len(clusters) < 2 {
+		return 0
+	}
+	owner := map[int]int{}
+	for ci, cl := range clusters {
+		for _, i := range cl {
+			owner[i] = ci
+		}
+	}
+	total, n := 0.0, 0
+	for ci, cl := range clusters {
+		for _, i := range cl {
+			n++
+			if len(cl) == 1 {
+				continue // silhouette 0 for singletons
+			}
+			// a = mean intra-cluster distance.
+			a := 0.0
+			for _, j := range cl {
+				if j != i {
+					a += dist[i][j]
+				}
+			}
+			a /= float64(len(cl) - 1)
+			// b = smallest mean distance to another cluster.
+			b := -1.0
+			for cj, other := range clusters {
+				if cj == ci || len(other) == 0 {
+					continue
+				}
+				d := 0.0
+				for _, j := range other {
+					d += dist[i][j]
+				}
+				d /= float64(len(other))
+				if b < 0 || d < b {
+					b = d
+				}
+			}
+			if b < 0 {
+				continue
+			}
+			max := a
+			if b > max {
+				max = b
+			}
+			if max > 0 {
+				total += (b - a) / max
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// CutAuto scans the dendrogram's merge heights as candidate cut thresholds
+// and returns the partition with the highest mean silhouette width,
+// together with the chosen threshold. When every candidate ties at 0 (e.g.
+// two items), it falls back to cutting just below the root.
+func CutAuto(root *Node, dist [][]float64) ([][]int, float64) {
+	if root == nil {
+		return nil, 0
+	}
+	if root.IsLeaf() {
+		return [][]int{{root.Item}}, 0
+	}
+	heights := collectHeights(root)
+	bestScore := -2.0
+	var best [][]int
+	bestTh := 0.0
+	for _, h := range heights {
+		th := h - 1e-9 // cut just below each merge
+		clusters := root.Cut(th)
+		if len(clusters) < 2 {
+			continue
+		}
+		s := Silhouette(dist, clusters)
+		if s > bestScore {
+			bestScore = s
+			best = clusters
+			bestTh = th
+		}
+	}
+	if best == nil {
+		best = root.Cut(root.Height - 1e-9)
+		bestTh = root.Height - 1e-9
+	}
+	return best, bestTh
+}
+
+func collectHeights(root *Node) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		if !seen[n.Height] {
+			seen[n.Height] = true
+			out = append(out, n.Height)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	// insertion sort (tiny slices)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package core wires the substrates into the two systems of the paper:
+// DiffCode (mine → analyze → abstract → diff → filter → cluster, §5) and
+// CryptoChecker (the rule checker of §6.4). The evaluation harness that
+// regenerates the paper's figures lives in eval.go.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/change"
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/cryptoapi"
+	"repro/internal/mining"
+	"repro/internal/rules"
+	"repro/internal/usage"
+)
+
+// Options configures the DiffCode pipeline.
+type Options struct {
+	// Depth bounds the usage-DAG expansion (paper default: 5).
+	Depth int
+	// Analysis forwards analyzer limits.
+	Analysis analysis.Options
+	// MinCommits filters toy projects during mining (paper: 30).
+	MinCommits int
+	// Workers caps the parallel analysis fan-out (default: NumCPU).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Depth <= 0 {
+		o.Depth = usage.DefaultDepth
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// DiffCode is the end-to-end system of §5.
+type DiffCode struct {
+	opts Options
+}
+
+// New returns a DiffCode instance.
+func New(opts Options) *DiffCode {
+	return &DiffCode{opts: opts.withDefaults()}
+}
+
+// Options returns the effective configuration.
+func (d *DiffCode) Options() Options { return d.opts }
+
+// AnalyzedChange is a mined code change with both versions analyzed. The
+// raw sources are retained so the concrete patch behind a usage change can
+// be inspected (the paper's manual elicitation step).
+type AnalyzedChange struct {
+	Meta   change.Meta
+	Kind   corpus.CommitKind
+	OldSrc string
+	NewSrc string
+	Old    *analysis.Result
+	New    *analysis.Result
+	// UsesOld/UsesNew record which target classes each version mentions
+	// (pre-filter granularity, before abstraction).
+	UsesOld map[string]bool
+	UsesNew map[string]bool
+}
+
+// UsesClass reports whether either version uses the class.
+func (a *AnalyzedChange) UsesClass(class string) bool {
+	return a.UsesOld[class] || a.UsesNew[class]
+}
+
+// AnalyzeChange parses and analyzes one code change.
+func (d *DiffCode) AnalyzeChange(cc mining.CodeChange) *AnalyzedChange {
+	a := &AnalyzedChange{
+		Meta:    cc.Meta,
+		Kind:    cc.Kind,
+		OldSrc:  cc.Old,
+		NewSrc:  cc.New,
+		Old:     analysis.AnalyzeSource(cc.Old, d.opts.Analysis),
+		New:     analysis.AnalyzeSource(cc.New, d.opts.Analysis),
+		UsesOld: map[string]bool{},
+		UsesNew: map[string]bool{},
+	}
+	for _, c := range cryptoapi.TargetClasses {
+		a.UsesOld[c] = mining.UsesClass(cc.Old, c)
+		a.UsesNew[c] = mining.UsesClass(cc.New, c)
+	}
+	return a
+}
+
+// AnalyzeAll analyzes a batch of code changes in parallel, preserving
+// input order.
+func (d *DiffCode) AnalyzeAll(ccs []mining.CodeChange) []*AnalyzedChange {
+	out := make([]*AnalyzedChange, len(ccs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, d.opts.Workers)
+	for i := range ccs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = d.AnalyzeChange(ccs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// ExtractClass derives the usage changes of one target class from an
+// analyzed change.
+func (d *DiffCode) ExtractClass(a *AnalyzedChange, class string) []change.UsageChange {
+	return change.Extract(a.Old, a.New, class, d.opts.Depth, a.Meta)
+}
+
+// MineCorpus runs the full mining front-end over a corpus: collect code
+// changes, analyze both versions of each, in parallel.
+func (d *DiffCode) MineCorpus(c *corpus.Corpus) []*AnalyzedChange {
+	ccs := mining.Collect(c, mining.Options{MinCommits: d.opts.MinCommits})
+	return d.AnalyzeAll(ccs)
+}
+
+// ClassPipelineResult is the per-class outcome of the filtering pipeline.
+type ClassPipelineResult struct {
+	Class     string
+	Stats     change.FilterStats
+	Survivors []change.UsageChange
+}
+
+// RunClass extracts, filters, and returns the semantic usage changes of one
+// target class across analyzed changes.
+func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipelineResult {
+	var all []change.UsageChange
+	for _, a := range analyzed {
+		if !a.UsesClass(class) {
+			continue
+		}
+		all = append(all, d.ExtractClass(a, class)...)
+	}
+	kept, stats := change.Filter(all)
+	return ClassPipelineResult{Class: class, Stats: stats, Survivors: kept}
+}
+
+// ClusterChanges builds the dendrogram over semantic usage changes
+// (complete linkage, per the paper).
+func (d *DiffCode) ClusterChanges(changes []change.UsageChange) *cluster.Node {
+	return cluster.Agglomerate(changes, cluster.Complete)
+}
+
+// ---------------------------------------------------------------------------
+// CryptoChecker
+// ---------------------------------------------------------------------------
+
+// CryptoChecker checks programs against a rule set (§6.4).
+type CryptoChecker struct {
+	Rules []*rules.Rule
+	opts  Options
+}
+
+// NewChecker returns a checker over the given rules (default: all 13).
+func NewChecker(ruleSet []*rules.Rule, opts Options) *CryptoChecker {
+	if len(ruleSet) == 0 {
+		ruleSet = rules.All()
+	}
+	return &CryptoChecker{Rules: ruleSet, opts: opts.withDefaults()}
+}
+
+// CheckSources analyzes the given files as one program and reports all rule
+// violations.
+func (c *CryptoChecker) CheckSources(sources map[string]string, ctx rules.Context) []rules.Violation {
+	res := analysis.Analyze(analysis.ParseProgram(sources), c.opts.Analysis)
+	return rules.Check(res, ctx, c.Rules)
+}
+
+// CheckProject checks a corpus project snapshot.
+func (c *CryptoChecker) CheckProject(p *corpus.Project) []rules.Violation {
+	return c.CheckSources(p.Files, ContextOf(p))
+}
+
+// ContextOf converts corpus project metadata into a rule context.
+func ContextOf(p *corpus.Project) rules.Context {
+	return rules.Context{
+		Android:       p.Info.Android,
+		MinSDKVersion: p.Info.MinSDKVersion,
+		HasLPRNG:      p.Info.HasLPRNG,
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestFigure9Golden pins the exact rendering of the rule table (Figure 9 is
+// fully static, so any drift is a deliberate rule change or a formatting
+// regression). Refresh with: go test ./internal/core -run Golden -update-golden
+func TestFigure9Golden(t *testing.T) {
+	got := Figure9().String()
+	path := filepath.Join("testdata", "figure9.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Figure 9 rendering drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/report"
+	"repro/internal/rules"
+)
+
+// TrendResult compares CryptoChecker findings at the beginning and the end
+// of each training project's history. The paper's thesis predicts the
+// direction: because security fixes outnumber regressions, rule violations
+// must decrease as histories play out — the mined fixes are exactly the
+// events the checker's rules encode.
+type TrendResult struct {
+	Projects        int
+	InitialMatching map[string]int // rule ID → projects matching initially
+	FinalMatching   map[string]int // rule ID → projects matching at HEAD
+	Improved        int            // projects with strictly fewer matched rules
+	Worsened        int            // projects with strictly more matched rules
+}
+
+// initialSnapshot reconstructs each file's content before its first commit
+// (the project as initially written).
+func initialSnapshot(p *corpus.Project) map[string]string {
+	files := map[string]string{}
+	for path, content := range p.Files {
+		files[path] = content
+	}
+	seen := map[string]bool{}
+	for _, cm := range p.Commits {
+		if !seen[cm.File] {
+			seen[cm.File] = true
+			files[cm.File] = cm.Old
+		}
+	}
+	return files
+}
+
+// Trend evaluates the rule set at both ends of every training project's
+// history, in parallel.
+func Trend(c *corpus.Corpus, opts Options) *TrendResult {
+	opts = opts.withDefaults()
+	all := rules.All()
+	var projects []*corpus.Project
+	for _, p := range c.TrainingProjects() {
+		if p.ForkOf == "" {
+			projects = append(projects, p)
+		}
+	}
+	res := &TrendResult{
+		Projects:        len(projects),
+		InitialMatching: map[string]int{},
+		FinalMatching:   map[string]int{},
+	}
+	type outcome struct {
+		initial, final map[string]bool
+	}
+	outcomes := make([]outcome, len(projects))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, p := range projects {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *corpus.Project) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx := ContextOf(p)
+			match := func(files map[string]string) map[string]bool {
+				r := analysis.Analyze(analysis.ParseProgram(files), opts.Analysis)
+				hits := map[string]bool{}
+				for _, rule := range all {
+					if ok, _ := rule.Matches(r, ctx); ok {
+						hits[rule.ID] = true
+					}
+				}
+				return hits
+			}
+			outcomes[i] = outcome{
+				initial: match(initialSnapshot(p)),
+				final:   match(p.Files),
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, o := range outcomes {
+		for id := range o.initial {
+			res.InitialMatching[id]++
+		}
+		for id := range o.final {
+			res.FinalMatching[id]++
+		}
+		switch {
+		case len(o.final) < len(o.initial):
+			res.Improved++
+		case len(o.final) > len(o.initial):
+			res.Worsened++
+		}
+	}
+	return res
+}
+
+// Table renders the trend comparison.
+func (r *TrendResult) Table() *report.Table {
+	t := &report.Table{
+		Title:  fmt.Sprintf("History trend: rule violations at the first vs last commit (%d projects)", r.Projects),
+		Header: []string{"Rule", "Initially matching", "Matching at HEAD", "Δ"},
+	}
+	for _, rule := range rules.All() {
+		id := rule.ID
+		ini, fin := r.InitialMatching[id], r.FinalMatching[id]
+		t.AddRow(id, fmt.Sprint(ini), fmt.Sprint(fin), fmt.Sprintf("%+d", fin-ini))
+	}
+	t.AddNote("Projects with fewer matched rules at HEAD: %d; with more: %d.",
+		r.Improved, r.Worsened)
+	t.AddNote("The fix-dominance the pipeline mines (Figure 7) predicts Δ ≤ 0 overall.")
+	return t
+}

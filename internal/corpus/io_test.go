@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := Generate(Config{Seed: 9, Scale: 0.05, Projects: 6, ExtraProjects: 2})
+	dir := t.TempDir()
+	if err := Save(c, dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(got.Projects) != len(c.Projects) {
+		t.Fatalf("projects = %d, want %d", len(got.Projects), len(c.Projects))
+	}
+	// Index originals by name (Load sorts alphabetically).
+	orig := map[string]*Project{}
+	for _, p := range c.Projects {
+		orig[p.Name] = p
+	}
+	for _, p := range got.Projects {
+		o, ok := orig[p.Name]
+		if !ok {
+			t.Fatalf("unknown project %s", p.Name)
+		}
+		if p.Training != o.Training || p.Info != o.Info {
+			t.Errorf("%s: metadata mismatch: %+v vs %+v", p.Name, p.Info, o.Info)
+		}
+		if len(p.Files) != len(o.Files) {
+			t.Errorf("%s: files = %d, want %d", p.Name, len(p.Files), len(o.Files))
+		}
+		for path, content := range o.Files {
+			if p.Files[path] != content {
+				t.Errorf("%s: snapshot %s differs", p.Name, path)
+			}
+		}
+		if len(p.Commits) != len(o.Commits) {
+			t.Fatalf("%s: commits = %d, want %d", p.Name, len(p.Commits), len(o.Commits))
+		}
+		for i := range o.Commits {
+			a, b := p.Commits[i], o.Commits[i]
+			if a.ID != b.ID || a.File != b.File || a.Kind != b.Kind ||
+				a.Message != b.Message || a.Old != b.Old || a.New != b.New {
+				t.Errorf("%s commit %d differs: %q vs %q", p.Name, i, a.ID, b.ID)
+			}
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("expected error for missing directory")
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for _, k := range []CommitKind{KindRefactor, KindUnrelated, KindAdd,
+		KindRemove, KindFix, KindBug} {
+		if got := kindFromString(k.String()); got != k {
+			t.Errorf("round trip %v → %v", k, got)
+		}
+	}
+	if kindFromString("garbage") != KindUnrelated {
+		t.Error("unknown kind should default to unrelated")
+	}
+}

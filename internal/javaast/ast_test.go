@@ -1,0 +1,147 @@
+package javaast
+
+import (
+	"testing"
+
+	"repro/internal/javatok"
+)
+
+func TestTypeRefBaseAndString(t *testing.T) {
+	cases := []struct {
+		name       string
+		dims       int
+		base, repr string
+	}{
+		{"Cipher", 0, "Cipher", "Cipher"},
+		{"javax.crypto.Cipher", 0, "Cipher", "javax.crypto.Cipher"},
+		{"byte", 2, "byte", "byte[][]"},
+		{"a.b.C", 1, "C", "a.b.C[]"},
+	}
+	for _, c := range cases {
+		tr := &TypeRef{Name: c.name, Dims: c.dims}
+		if tr.Base() != c.base {
+			t.Errorf("%s: Base = %q, want %q", c.name, tr.Base(), c.base)
+		}
+		if tr.String() != c.repr {
+			t.Errorf("%s: String = %q, want %q", c.name, tr.String(), c.repr)
+		}
+	}
+}
+
+func TestModifierHelpers(t *testing.T) {
+	f := &FieldDecl{Modifiers: []string{"private", "static", "final"}}
+	if !f.IsStatic() || !f.IsFinal() {
+		t.Error("field modifiers not detected")
+	}
+	m := &MethodDecl{Modifiers: []string{"public"}}
+	if m.IsStatic() {
+		t.Error("non-static method reported static")
+	}
+	td := &TypeDecl{Modifiers: []string{"static"}}
+	if !td.IsStatic() {
+		t.Error("static nested type not detected")
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	// Build a small tree by hand and count node visits.
+	pos := javatok.Pos{Line: 1, Col: 1}
+	body := &Block{P: pos, Stmts: []Stmt{
+		&LocalVarDecl{Name: "x", Type: &TypeRef{Name: "int"},
+			Init: &Binary{Op: "+", L: &Literal{Kind: IntLit, Value: "1"},
+				R: &Literal{Kind: IntLit, Value: "2"}}, P: pos},
+		&IfStmt{Cond: &Name{Ident: "x"},
+			Then: &ExprStmt{X: &Call{Name: "go", Args: []Expr{&Name{Ident: "x"}}}, P: pos},
+			Else: &ReturnStmt{X: &Literal{Kind: NullLit, Value: "null"}, P: pos}, P: pos},
+	}}
+	count := 0
+	Walk(body, func(n Node) bool {
+		count++
+		return true
+	})
+	// Block, decl, binary, 2 literals, if, name, exprstmt, call, name,
+	// return, null literal = 12.
+	if count != 12 {
+		t.Errorf("visited %d nodes, want 12", count)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	body := &Block{Stmts: []Stmt{
+		&ExprStmt{X: &Call{Name: "outer", Args: []Expr{
+			&Call{Name: "inner"},
+		}}},
+	}}
+	var names []string
+	Walk(body, func(n Node) bool {
+		if c, ok := n.(*Call); ok {
+			names = append(names, c.Name)
+			return false // prune: don't descend into args
+		}
+		return true
+	})
+	if len(names) != 1 || names[0] != "outer" {
+		t.Errorf("prune failed: %v", names)
+	}
+}
+
+func TestWalkNilSafe(t *testing.T) {
+	// Nodes with nil children must not panic.
+	nodes := []Node{
+		&IfStmt{Cond: &Name{Ident: "c"}},
+		&ReturnStmt{},
+		&TryStmt{Body: &Block{}},
+		&ForStmt{},
+		&Call{Name: "m"},
+		&Lambda{},
+	}
+	for _, n := range nodes {
+		Walk(n, func(Node) bool { return true })
+	}
+	Walk(nil, func(Node) bool { return true })
+}
+
+func TestExprStringCoverage(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Literal{Kind: StringLit, Value: "AES"}, `"AES"`},
+		{&Literal{Kind: CharLit, Value: "c"}, "'c'"},
+		{&Literal{Kind: LongLit, Value: "7"}, "7L"},
+		{&Literal{Kind: FloatLit, Value: "1.5"}, "1.5f"},
+		{&Cond{C: &Name{Ident: "a"}, T: &Name{Ident: "b"}, F: &Name{Ident: "c"}}, "(a ? b : c)"},
+		{&InstanceOf{X: &Name{Ident: "x"}, Type: &TypeRef{Name: "T"}}, "x instanceof T"},
+		{&This{}, "this"},
+		{&Super{}, "super"},
+		{&ClassLit{Type: &TypeRef{Name: "T"}}, "T.class"},
+		{&MethodRef{Recv: &Name{Ident: "List"}, Name: "of"}, "List::of"},
+		{&Index{X: &Name{Ident: "a"}, I: &Literal{Kind: IntLit, Value: "0"}}, "a[0]"},
+		{&Unary{Op: "++", X: &Name{Ident: "i"}, Postfix: true}, "i++"},
+		{&Assign{Op: "+=", L: &Name{Ident: "x"}, R: &Literal{Kind: IntLit, Value: "1"}}, "x += 1"},
+		{&Cast{Type: &TypeRef{Name: "byte", Dims: 1}, X: &Name{Ident: "o"}}, "(byte[]) o"},
+		{&ArrayInit{Elems: []Expr{&Literal{Kind: IntLit, Value: "1"}}}, "{1}"},
+		{nil, "<nil>"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	cu := &CompilationUnit{
+		Package: "a.b",
+		Types: []*TypeDecl{
+			{Name: "C", Kind: ClassKind,
+				Fields:  []*FieldDecl{{Name: "f"}},
+				Methods: []*MethodDecl{{Name: "m"}, {Name: "n"}}},
+			{Name: "I", Kind: InterfaceKind},
+		},
+	}
+	want := "pkg a.b; class C{f:1 m:2} interface I{f:0 m:0}"
+	if got := Summary(cu); got != want {
+		t.Errorf("Summary = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,125 @@
+package javaast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExprString renders an expression as compact Java-like source. It is used in
+// diagnostics and parser tests; it is not a faithful pretty-printer (it fully
+// parenthesizes binary expressions).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "<nil>"
+	case *Literal:
+		switch x.Kind {
+		case StringLit:
+			return strconv.Quote(x.Value)
+		case CharLit:
+			return "'" + x.Value + "'"
+		case LongLit:
+			return x.Value + "L"
+		case FloatLit:
+			return x.Value + "f"
+		default:
+			return x.Value
+		}
+	case *Name:
+		return x.Ident
+	case *FieldAccess:
+		return ExprString(x.X) + "." + x.Name
+	case *Call:
+		var sb strings.Builder
+		if x.Recv != nil {
+			sb.WriteString(ExprString(x.Recv))
+			sb.WriteString(".")
+		}
+		sb.WriteString(x.Name)
+		sb.WriteString("(")
+		sb.WriteString(exprList(x.Args))
+		sb.WriteString(")")
+		return sb.String()
+	case *New:
+		s := "new " + x.Type.String() + "(" + exprList(x.Args) + ")"
+		if x.Body != nil {
+			s += " {...}"
+		}
+		return s
+	case *NewArray:
+		s := "new " + x.Type.Name
+		for _, l := range x.Lens {
+			s += "[" + ExprString(l) + "]"
+		}
+		if x.HasInit {
+			if len(x.Lens) == 0 {
+				s += "[]"
+			}
+			s += "{" + exprList(x.Elems) + "}"
+		}
+		return s
+	case *ArrayInit:
+		return "{" + exprList(x.Elems) + "}"
+	case *Index:
+		return ExprString(x.X) + "[" + ExprString(x.I) + "]"
+	case *Binary:
+		return "(" + ExprString(x.L) + " " + x.Op + " " + ExprString(x.R) + ")"
+	case *Unary:
+		if x.Postfix {
+			return ExprString(x.X) + x.Op
+		}
+		return x.Op + ExprString(x.X)
+	case *Assign:
+		return ExprString(x.L) + " " + x.Op + " " + ExprString(x.R)
+	case *Cond:
+		return "(" + ExprString(x.C) + " ? " + ExprString(x.T) + " : " + ExprString(x.F) + ")"
+	case *Cast:
+		return "(" + x.Type.String() + ") " + ExprString(x.X)
+	case *InstanceOf:
+		return ExprString(x.X) + " instanceof " + x.Type.String()
+	case *This:
+		return "this"
+	case *Super:
+		return "super"
+	case *ClassLit:
+		return x.Type.String() + ".class"
+	case *Lambda:
+		return "(" + strings.Join(x.Params, ", ") + ") -> {...}"
+	case *MethodRef:
+		return ExprString(x.Recv) + "::" + x.Name
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Summary returns a one-line structural summary of a compilation unit, used
+// in tests: "pkg a.b; class C{f:2 m:3} interface I{m:1}".
+func Summary(cu *CompilationUnit) string {
+	var sb strings.Builder
+	if cu.Package != "" {
+		fmt.Fprintf(&sb, "pkg %s; ", cu.Package)
+	}
+	for i, t := range cu.Types {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		kind := "class"
+		switch t.Kind {
+		case InterfaceKind:
+			kind = "interface"
+		case EnumKind:
+			kind = "enum"
+		}
+		fmt.Fprintf(&sb, "%s %s{f:%d m:%d}", kind, t.Name, len(t.Fields), len(t.Methods))
+	}
+	return sb.String()
+}

@@ -1,0 +1,187 @@
+package javaast
+
+// Walk traverses the AST rooted at n in depth-first order, calling fn for
+// each node. If fn returns false for a node, its children are not visited.
+// Nil children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *CompilationUnit:
+		for _, im := range x.Imports {
+			Walk(im, fn)
+		}
+		for _, t := range x.Types {
+			Walk(t, fn)
+		}
+	case *Import:
+	case *TypeDecl:
+		for _, f := range x.Fields {
+			Walk(f, fn)
+		}
+		for _, m := range x.Methods {
+			Walk(m, fn)
+		}
+		for _, t := range x.Nested {
+			Walk(t, fn)
+		}
+	case *FieldDecl:
+		walkExpr(x.Init, fn)
+	case *MethodDecl:
+		for _, p := range x.Params {
+			Walk(p, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *Param:
+	case *TypeRef:
+
+	case *Block:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *LocalVarDecl:
+		walkExpr(x.Init, fn)
+	case *ExprStmt:
+		walkExpr(x.X, fn)
+	case *IfStmt:
+		walkExpr(x.Cond, fn)
+		walkStmt(x.Then, fn)
+		walkStmt(x.Else, fn)
+	case *WhileStmt:
+		walkExpr(x.Cond, fn)
+		walkStmt(x.Body, fn)
+	case *DoStmt:
+		walkStmt(x.Body, fn)
+		walkExpr(x.Cond, fn)
+	case *ForStmt:
+		for _, s := range x.Init {
+			Walk(s, fn)
+		}
+		walkExpr(x.Cond, fn)
+		for _, e := range x.Post {
+			walkExpr(e, fn)
+		}
+		walkStmt(x.Body, fn)
+	case *ForEachStmt:
+		if x.Var != nil {
+			Walk(x.Var, fn)
+		}
+		walkExpr(x.Expr, fn)
+		walkStmt(x.Body, fn)
+	case *ReturnStmt:
+		walkExpr(x.X, fn)
+	case *ThrowStmt:
+		walkExpr(x.X, fn)
+	case *TryStmt:
+		for _, r := range x.Resources {
+			Walk(r, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+		for _, c := range x.Catches {
+			Walk(c, fn)
+		}
+		if x.Finally != nil {
+			Walk(x.Finally, fn)
+		}
+	case *CatchClause:
+		if x.Param != nil {
+			Walk(x.Param, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *SwitchStmt:
+		walkExpr(x.Tag, fn)
+		for _, c := range x.Cases {
+			Walk(c, fn)
+		}
+	case *SwitchCase:
+		for _, v := range x.Values {
+			walkExpr(v, fn)
+		}
+		for _, s := range x.Body {
+			walkStmt(s, fn)
+		}
+	case *SyncStmt:
+		walkExpr(x.Lock, fn)
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *LabeledStmt:
+		walkStmt(x.Stmt, fn)
+	case *AssertStmt:
+		walkExpr(x.Cond, fn)
+		walkExpr(x.Msg, fn)
+	case *BreakStmt, *ContinueStmt, *EmptyStmt:
+
+	case *Literal, *Name, *This, *Super:
+	case *FieldAccess:
+		walkExpr(x.X, fn)
+	case *Call:
+		walkExpr(x.Recv, fn)
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *New:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *NewArray:
+		for _, l := range x.Lens {
+			walkExpr(l, fn)
+		}
+		for _, e := range x.Elems {
+			walkExpr(e, fn)
+		}
+	case *ArrayInit:
+		for _, e := range x.Elems {
+			walkExpr(e, fn)
+		}
+	case *Index:
+		walkExpr(x.X, fn)
+		walkExpr(x.I, fn)
+	case *Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *Unary:
+		walkExpr(x.X, fn)
+	case *Assign:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *Cond:
+		walkExpr(x.C, fn)
+		walkExpr(x.T, fn)
+		walkExpr(x.F, fn)
+	case *Cast:
+		walkExpr(x.X, fn)
+	case *InstanceOf:
+		walkExpr(x.X, fn)
+	case *ClassLit:
+	case *Lambda:
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *MethodRef:
+		walkExpr(x.Recv, fn)
+	}
+}
+
+func walkExpr(e Expr, fn func(Node) bool) {
+	if e != nil {
+		Walk(e, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Node) bool) {
+	if s != nil {
+		Walk(s, fn)
+	}
+}

@@ -1,0 +1,215 @@
+package javaast_test
+
+import (
+	"testing"
+
+	"repro/internal/javaast"
+	"repro/internal/javaparser"
+)
+
+// walkSrc exercises every statement and expression node kind the AST
+// defines, so Walk's traversal arms are all visited.
+const walkSrc = `
+package w;
+
+import java.util.List;
+
+public class Everything extends Base implements A, B {
+    static final int LIMIT = 10;
+    int[] data = {1, 2, 3};
+    String label = "x" + 1;
+
+    static { setupOnce(); }
+    { counterInit(); }
+
+    Everything() { this(0); }
+    Everything(int seed) { super(); }
+
+    <T> T generic(List<T> xs) { return xs.get(0); }
+
+    int run(int n, boolean flag) throws Exception {
+        int acc = n >= 0 ? n : -n;
+        long big = (long) acc;
+        Object o = flag ? null : new Everything(acc);
+        boolean is = o instanceof Everything;
+        int[] arr = new int[4];
+        arr[0] = acc++;
+        acc += arr[0];
+        acc -= 1; acc *= 2; acc /= 3; acc %= 5;
+        acc <<= 1; acc >>= 1; acc &= 7; acc |= 8; acc ^= 2;
+
+        if (flag) { acc = ~acc; } else { acc = !flag ? 1 : 0; }
+        while (acc > 100) acc--;
+        do { acc++; } while (acc < 2);
+        int len = this.data.length;
+        for (int i = 0; i < n; i++) {
+            if (i == 2) continue;
+            acc += i;
+        }
+        for (int v : arr) acc += v;
+        outer:
+        for (;;) {
+            switch (acc) {
+            case 1: acc = 0; break;
+            case 2:
+            default: break outer;
+            }
+        }
+        synchronized (this) { acc += LIMIT; }
+        assert acc != 3 : "bad " + acc;
+        try (AutoCloseable c = open()) {
+            maybeThrow();
+        } catch (IllegalStateException | IllegalArgumentException e) {
+            throw new RuntimeException(e);
+        } finally {
+            cleanup();
+        }
+        Runnable r = () -> helper(acc);
+        Runnable r2 = Everything::setupOnce;
+        Class<?> k = Everything.class;
+        ;
+        return acc;
+    }
+
+    static void setupOnce() {}
+    void counterInit() {}
+    void helper(int x) {}
+    AutoCloseable open() { return null; }
+    void maybeThrow() {}
+    void cleanup() {}
+}
+
+interface A { void a(); }
+interface B {}
+class Base {}
+enum Tier { ONE, TWO }
+`
+
+func TestWalkCoversAllNodeKinds(t *testing.T) {
+	res := javaparser.Parse(walkSrc)
+	if len(res.Errors) != 0 {
+		t.Fatalf("parse errors: %v", res.Errors)
+	}
+	kinds := map[string]int{}
+	javaast.Walk(res.Unit, func(n javaast.Node) bool {
+		switch n.(type) {
+		case *javaast.CompilationUnit:
+			kinds["unit"]++
+		case *javaast.Import:
+			kinds["import"]++
+		case *javaast.TypeDecl:
+			kinds["type"]++
+		case *javaast.FieldDecl:
+			kinds["field"]++
+		case *javaast.MethodDecl:
+			kinds["method"]++
+		case *javaast.Param:
+			kinds["param"]++
+		case *javaast.Block:
+			kinds["block"]++
+		case *javaast.LocalVarDecl:
+			kinds["local"]++
+		case *javaast.ExprStmt:
+			kinds["exprstmt"]++
+		case *javaast.IfStmt:
+			kinds["if"]++
+		case *javaast.WhileStmt:
+			kinds["while"]++
+		case *javaast.DoStmt:
+			kinds["do"]++
+		case *javaast.ForStmt:
+			kinds["for"]++
+		case *javaast.ForEachStmt:
+			kinds["foreach"]++
+		case *javaast.ReturnStmt:
+			kinds["return"]++
+		case *javaast.ThrowStmt:
+			kinds["throw"]++
+		case *javaast.TryStmt:
+			kinds["try"]++
+		case *javaast.CatchClause:
+			kinds["catch"]++
+		case *javaast.SwitchStmt:
+			kinds["switch"]++
+		case *javaast.SwitchCase:
+			kinds["case"]++
+		case *javaast.BreakStmt:
+			kinds["break"]++
+		case *javaast.ContinueStmt:
+			kinds["continue"]++
+		case *javaast.SyncStmt:
+			kinds["sync"]++
+		case *javaast.LabeledStmt:
+			kinds["label"]++
+		case *javaast.AssertStmt:
+			kinds["assert"]++
+		case *javaast.EmptyStmt:
+			kinds["empty"]++
+		case *javaast.Literal:
+			kinds["literal"]++
+		case *javaast.Name:
+			kinds["name"]++
+		case *javaast.FieldAccess:
+			kinds["fieldaccess"]++
+		case *javaast.Call:
+			kinds["call"]++
+		case *javaast.New:
+			kinds["new"]++
+		case *javaast.NewArray:
+			kinds["newarray"]++
+		case *javaast.ArrayInit:
+			kinds["arrayinit"]++
+		case *javaast.Index:
+			kinds["index"]++
+		case *javaast.Binary:
+			kinds["binary"]++
+		case *javaast.Unary:
+			kinds["unary"]++
+		case *javaast.Assign:
+			kinds["assign"]++
+		case *javaast.Cond:
+			kinds["cond"]++
+		case *javaast.Cast:
+			kinds["cast"]++
+		case *javaast.InstanceOf:
+			kinds["instanceof"]++
+		case *javaast.This:
+			kinds["this"]++
+		case *javaast.Super:
+			kinds["super"]++
+		case *javaast.ClassLit:
+			kinds["classlit"]++
+		case *javaast.Lambda:
+			kinds["lambda"]++
+		case *javaast.MethodRef:
+			kinds["methodref"]++
+		}
+		return true
+	})
+	want := []string{"unit", "import", "type", "field", "method", "param",
+		"block", "local", "exprstmt", "if", "while", "do", "for", "foreach",
+		"return", "throw", "try", "catch", "switch", "case", "break",
+		"continue", "sync", "label", "assert", "empty", "literal", "name",
+		"fieldaccess", "call", "new", "newarray", "arrayinit", "index",
+		"binary", "unary", "assign", "cond", "cast", "instanceof", "this",
+		"super", "classlit", "lambda", "methodref"}
+	for _, k := range want {
+		if kinds[k] == 0 {
+			t.Errorf("node kind %q never visited (source does not produce it, or Walk skips it)", k)
+		}
+	}
+}
+
+// TestExprStringOnParsedTree renders every expression in the walked tree —
+// ExprString must never produce an empty or panicking result.
+func TestExprStringOnParsedTree(t *testing.T) {
+	res := javaparser.Parse(walkSrc)
+	javaast.Walk(res.Unit, func(n javaast.Node) bool {
+		if e, ok := n.(javaast.Expr); ok {
+			if s := javaast.ExprString(e); s == "" {
+				t.Errorf("empty rendering for %T", e)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,207 @@
+package javaparser
+
+import (
+	"testing"
+
+	"repro/internal/javaast"
+)
+
+// kitchenSink is a single file exercising a broad slice of Java syntax the
+// parser claims to handle, modeled on real-world crypto utility classes.
+const kitchenSink = `
+package io.acme.security.util;
+
+import java.security.MessageDigest;
+import java.security.SecureRandom;
+import java.util.*;
+import static java.nio.charset.StandardCharsets.UTF_8;
+
+/**
+ * Javadoc with {@code inline tags} and <b>markup</b>.
+ */
+@SuppressWarnings({"unchecked", "rawtypes"})
+public final class CryptoToolkit implements AutoCloseable, Comparable<CryptoToolkit> {
+
+    public @interface Audited {
+        String value() default "none";
+        int level() default 1;
+    }
+
+    public enum Strength {
+        LOW(64), MEDIUM(128) {
+            @Override int effective() { return 127; }
+        }, HIGH(256);
+
+        private final int bits;
+        Strength(int bits) { this.bits = bits; }
+        int effective() { return bits; }
+    }
+
+    interface Source<T extends Comparable<T>> {
+        T next() throws Exception;
+        default boolean ready() { return true; }
+    }
+
+    private static final Map<String, byte[]> CACHE = new HashMap<>();
+    private static final char[] HEX = "0123456789abcdef".toCharArray();
+    private volatile long counter = 0xCAFE_BABEL;
+    protected transient int[][] grid = new int[4][4];
+
+    static {
+        CACHE.put("empty", new byte[0]);
+    }
+
+    { counter += 1; }
+
+    public CryptoToolkit() { this(new SecureRandom()); }
+
+    public CryptoToolkit(SecureRandom rng) {
+        assert rng != null : "rng required";
+    }
+
+    @Audited("digest")
+    public byte[] digest(String alg, byte[]... chunks) throws Exception {
+        MessageDigest md = MessageDigest.getInstance(alg == null ? "SHA-256" : alg);
+        outer:
+        for (int i = 0, n = chunks.length; i < n; i++) {
+            byte[] chunk = chunks[i];
+            if (chunk == null) continue outer;
+            switch (chunk.length % 3) {
+            case 0:
+                md.update(chunk);
+                break;
+            case 1: {
+                md.update(chunk, 0, chunk.length);
+                break;
+            }
+            default:
+                for (byte b : chunk) { md.update(new byte[]{ b }); }
+            }
+        }
+        return md.digest();
+    }
+
+    public String hex(byte[] data) {
+        StringBuilder sb = new StringBuilder(data.length << 1);
+        int i = 0;
+        do {
+            int v = data[i] & 0xFF;
+            sb.append(HEX[v >>> 4]).append(HEX[v & 0x0F]);
+        } while (++i < data.length);
+        return sb.toString();
+    }
+
+    public <T> List<T> shuffle(List<T> in, SecureRandom rng) {
+        List<T> copy = new ArrayList<>(in);
+        Collections.sort((List) copy, (a, b) -> a.hashCode() - b.hashCode());
+        copy.removeIf(x -> x == null);
+        copy.forEach(System.out::println);
+        return copy;
+    }
+
+    public synchronized void close() {
+        try (AutoCloseable res = () -> {}) {
+            counter = ~counter;
+        } catch (Exception ignored) {
+        } finally {
+            counter = 0L;
+        }
+    }
+
+    @Override
+    public int compareTo(CryptoToolkit other) {
+        return (int) (this.counter - other.counter);
+    }
+
+    private static class Holder {
+        static final CryptoToolkit INSTANCE = new CryptoToolkit();
+    }
+
+    public static CryptoToolkit instance() { return Holder.INSTANCE; }
+}
+`
+
+func TestKitchenSinkParses(t *testing.T) {
+	res := Parse(kitchenSink)
+	for _, e := range res.Errors {
+		t.Errorf("parse error: %v", e)
+	}
+	if len(res.Unit.Types) != 1 {
+		t.Fatalf("types = %d", len(res.Unit.Types))
+	}
+	c := res.Unit.Types[0]
+	if c.Name != "CryptoToolkit" {
+		t.Fatalf("class = %q", c.Name)
+	}
+	// Nested: @interface Audited, enum Strength, interface Source, class Holder.
+	if len(c.Nested) != 4 {
+		names := make([]string, len(c.Nested))
+		for i, n := range c.Nested {
+			names[i] = n.Name
+		}
+		t.Errorf("nested types = %v, want 4", names)
+	}
+	byName := map[string]*javaast.TypeDecl{}
+	for _, n := range c.Nested {
+		byName[n.Name] = n
+	}
+	if a := byName["Audited"]; a == nil || a.Kind != javaast.InterfaceKind {
+		t.Error("@interface Audited not parsed as annotation type")
+	}
+	if e := byName["Strength"]; e == nil || len(e.EnumConsts) != 3 {
+		t.Errorf("enum Strength constants wrong: %+v", byName["Strength"])
+	}
+	// Member inventory.
+	methods := map[string]bool{}
+	ctors := 0
+	for _, m := range c.Methods {
+		if m.IsConstructor {
+			ctors++
+		}
+		methods[m.Name] = true
+	}
+	for _, want := range []string{"digest", "hex", "shuffle", "close",
+		"compareTo", "instance", "<static-init>", "<instance-init>"} {
+		if !methods[want] {
+			t.Errorf("missing method %s (have %v)", want, methods)
+		}
+	}
+	if ctors != 2 {
+		t.Errorf("constructors = %d, want 2", ctors)
+	}
+	if len(c.Fields) != 4 {
+		t.Errorf("fields = %d, want 4", len(c.Fields))
+	}
+	// Structural spot checks inside digest().
+	var labeledContinue, switchStmt, forEach, doWhile bool
+	javaast.Walk(res.Unit, func(n javaast.Node) bool {
+		switch x := n.(type) {
+		case *javaast.ContinueStmt:
+			if x.Label == "outer" {
+				labeledContinue = true
+			}
+		case *javaast.SwitchStmt:
+			switchStmt = true
+		case *javaast.ForEachStmt:
+			forEach = true
+		case *javaast.DoStmt:
+			doWhile = true
+		}
+		return true
+	})
+	if !labeledContinue || !switchStmt || !forEach || !doWhile {
+		t.Errorf("missing constructs: continue-label=%t switch=%t foreach=%t do=%t",
+			labeledContinue, switchStmt, forEach, doWhile)
+	}
+}
+
+func TestKitchenSinkAnalyzable(t *testing.T) {
+	// The kitchen-sink file must also survive the downstream walk without
+	// panics (the corpus pipeline guarantee on arbitrary real code).
+	res := Parse(kitchenSink)
+	count := 0
+	javaast.Walk(res.Unit, func(javaast.Node) bool { count++; return true })
+	if count < 150 {
+		t.Errorf("AST suspiciously small: %d nodes", count)
+	}
+}

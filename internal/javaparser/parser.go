@@ -1,0 +1,678 @@
+// Package javaparser implements a recursive-descent parser for the Java
+// subset consumed by the DiffCode analyzer. The parser is error-tolerant at
+// member and statement granularity: a syntax error inside a method body skips
+// to the next synchronization point and parsing continues, so partial
+// programs and code snippets (the common case when mining commits, paper
+// §5.1) still yield a usable AST for the parts that parse.
+package javaparser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/javaast"
+	"repro/internal/javatok"
+)
+
+// Error describes one recovered syntax error.
+type Error struct {
+	Pos javatok.Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Result is the outcome of parsing one compilation unit.
+type Result struct {
+	Unit   *javaast.CompilationUnit
+	Errors []Error // recovered syntax errors, in source order
+}
+
+// Parse parses Java source text. It always returns a non-nil unit; syntax
+// errors are recovered and reported in Result.Errors.
+func Parse(src string) Result {
+	p := &parser{toks: javatok.Tokenize(src)}
+	unit := p.parseCompilationUnit()
+	return Result{Unit: unit, Errors: p.errors}
+}
+
+// parseError is the panic payload used for error recovery.
+type parseError struct {
+	pos javatok.Pos
+	msg string
+}
+
+type parser struct {
+	toks   []javatok.Token
+	i      int
+	errors []Error
+}
+
+func (p *parser) cur() javatok.Token  { return p.toks[p.i] }
+func (p *parser) peek() javatok.Token { return p.at(1) }
+
+func (p *parser) at(n int) javatok.Token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) advance() javatok.Token {
+	t := p.toks[p.i]
+	if t.Kind != javatok.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k javatok.Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().Is(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k javatok.Kind) javatok.Token {
+	if p.cur().Kind != k {
+		p.fail(fmt.Sprintf("expected %v, found %v", k, p.cur()))
+	}
+	return p.advance()
+}
+
+func (p *parser) expectKw(kw string) {
+	if !p.cur().Is(kw) {
+		p.fail(fmt.Sprintf("expected %q, found %v", kw, p.cur()))
+	}
+	p.advance()
+}
+
+func (p *parser) fail(msg string) {
+	panic(parseError{pos: p.cur().Pos, msg: msg})
+}
+
+func (p *parser) record(pe parseError) {
+	p.errors = append(p.errors, Error{Pos: pe.pos, Msg: pe.msg})
+}
+
+// expectGt consumes a single '>' in a type-argument context, splitting shift
+// tokens (>>, >>>) that the lexer produced for adjacent angle brackets.
+func (p *parser) expectGt() {
+	t := p.cur()
+	switch t.Kind {
+	case javatok.Gt:
+		p.advance()
+	case javatok.Shr:
+		p.toks[p.i] = javatok.Token{Kind: javatok.Gt, Text: ">",
+			Pos: javatok.Pos{Offset: t.Pos.Offset + 1, Line: t.Pos.Line, Col: t.Pos.Col + 1}}
+	case javatok.Ushr:
+		p.toks[p.i] = javatok.Token{Kind: javatok.Shr, Text: ">>",
+			Pos: javatok.Pos{Offset: t.Pos.Offset + 1, Line: t.Pos.Line, Col: t.Pos.Col + 1}}
+	case javatok.Ge:
+		p.toks[p.i] = javatok.Token{Kind: javatok.Assign, Text: "=",
+			Pos: javatok.Pos{Offset: t.Pos.Offset + 1, Line: t.Pos.Line, Col: t.Pos.Col + 1}}
+	default:
+		p.fail(fmt.Sprintf("expected '>', found %v", t))
+	}
+}
+
+// mark/restore implement speculative parsing. Token-slice mutations performed
+// by expectGt are idempotent re-interpretations and remain valid only along
+// the committed path, so speculative attempts snapshot mutated tokens too.
+type mark struct {
+	i    int
+	undo []savedTok
+	errs int
+}
+
+type savedTok struct {
+	idx int
+	tok javatok.Token
+}
+
+func (p *parser) mark() mark {
+	return mark{i: p.i, errs: len(p.errors)}
+}
+
+func (p *parser) restore(m mark, snapshot []javatok.Token) {
+	// Restore any tokens between m.i and the current position from snapshot.
+	for idx := m.i; idx <= p.i && idx < len(p.toks); idx++ {
+		if idx-m.i < len(snapshot) {
+			p.toks[idx] = snapshot[idx-m.i]
+		}
+	}
+	p.i = m.i
+	p.errors = p.errors[:m.errs]
+}
+
+// snapshot copies the next n tokens so a speculative parse can be undone.
+func (p *parser) snapshot(n int) []javatok.Token {
+	end := p.i + n
+	if end > len(p.toks) {
+		end = len(p.toks)
+	}
+	out := make([]javatok.Token, end-p.i)
+	copy(out, p.toks[p.i:end])
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Compilation unit
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseCompilationUnit() *javaast.CompilationUnit {
+	cu := &javaast.CompilationUnit{P: p.cur().Pos}
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(parseError); ok {
+				p.record(pe)
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.skipAnnotations()
+	if p.cur().Is("package") {
+		p.advance()
+		cu.Package = p.parseQualifiedName()
+		p.accept(javatok.Semi)
+	}
+	for p.cur().Is("import") {
+		cu.Imports = append(cu.Imports, p.parseImport())
+	}
+	for p.cur().Kind != javatok.EOF {
+		start := p.i
+		t := p.parseTopLevelType()
+		if t != nil {
+			cu.Types = append(cu.Types, t)
+		}
+		if p.i == start {
+			p.advance() // ensure progress on garbage
+		}
+	}
+	return cu
+}
+
+func (p *parser) parseImport() *javaast.Import {
+	im := &javaast.Import{P: p.cur().Pos}
+	p.expectKw("import")
+	im.Static = p.acceptKw("static")
+	var parts []string
+	parts = append(parts, p.expect(javatok.Ident).Text)
+	for p.cur().Kind == javatok.Dot {
+		p.advance()
+		if p.cur().Kind == javatok.Star {
+			p.advance()
+			im.Wildcard = true
+			break
+		}
+		parts = append(parts, p.expect(javatok.Ident).Text)
+	}
+	im.Path = strings.Join(parts, ".")
+	p.accept(javatok.Semi)
+	return im
+}
+
+func (p *parser) parseQualifiedName() string {
+	var parts []string
+	parts = append(parts, p.expect(javatok.Ident).Text)
+	for p.cur().Kind == javatok.Dot && p.peek().Kind == javatok.Ident {
+		p.advance()
+		parts = append(parts, p.advance().Text)
+	}
+	return strings.Join(parts, ".")
+}
+
+// parseTopLevelType parses one type declaration, recovering from errors by
+// skipping to a balanced position.
+func (p *parser) parseTopLevelType() (decl *javaast.TypeDecl) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			p.record(pe)
+			p.skipToTopLevel()
+			decl = nil
+		}
+	}()
+	mods := p.parseModifiers()
+	return p.parseTypeDecl(mods)
+}
+
+// skipToTopLevel advances past the current (possibly broken) declaration.
+func (p *parser) skipToTopLevel() {
+	depth := 0
+	for {
+		switch p.cur().Kind {
+		case javatok.EOF:
+			return
+		case javatok.LBrace:
+			depth++
+		case javatok.RBrace:
+			depth--
+			if depth <= 0 {
+				p.advance()
+				return
+			}
+		case javatok.Keyword:
+			if depth == 0 {
+				switch p.cur().Text {
+				case "class", "interface", "enum", "public", "final", "abstract":
+					return
+				}
+			}
+		}
+		p.advance()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+var modifierWords = map[string]bool{
+	"public": true, "protected": true, "private": true, "static": true,
+	"final": true, "abstract": true, "native": true, "synchronized": true,
+	"transient": true, "volatile": true, "strictfp": true, "default": true,
+}
+
+func (p *parser) parseModifiers() []string {
+	var mods []string
+	for {
+		p.skipAnnotations()
+		t := p.cur()
+		if t.Kind == javatok.Keyword && modifierWords[t.Text] {
+			// "default" opens a switch arm too, but no switch arm appears in
+			// modifier position (declarations only).
+			mods = append(mods, t.Text)
+			p.advance()
+			continue
+		}
+		return mods
+	}
+}
+
+// skipAnnotations consumes @Name or @Name(...) sequences.
+func (p *parser) skipAnnotations() {
+	for p.cur().Kind == javatok.At {
+		p.advance()
+		if p.cur().Is("interface") { // @interface declaration: leave the
+			p.i-- // '@' for parseTypeDecl to reject cleanly
+			return
+		}
+		p.parseQualifiedName()
+		if p.cur().Kind == javatok.LParen {
+			p.skipBalanced(javatok.LParen, javatok.RParen)
+		}
+	}
+}
+
+// skipBalanced consumes a balanced open..close token run.
+func (p *parser) skipBalanced(open, close javatok.Kind) {
+	p.expect(open)
+	depth := 1
+	for depth > 0 {
+		switch p.cur().Kind {
+		case javatok.EOF:
+			p.fail("unbalanced " + open.String())
+		case open:
+			depth++
+		case close:
+			depth--
+		}
+		p.advance()
+	}
+}
+
+// skipTypeParams consumes <...> honoring nesting; used for generic
+// declarations and type arguments (both are erased).
+func (p *parser) skipTypeParams() {
+	if p.cur().Kind != javatok.Lt {
+		return
+	}
+	p.advance()
+	depth := 1
+	for depth > 0 {
+		switch p.cur().Kind {
+		case javatok.EOF, javatok.Semi, javatok.LBrace:
+			p.fail("unbalanced type parameters")
+		case javatok.Lt:
+			p.advance()
+			depth++
+		case javatok.Gt:
+			p.advance()
+			depth--
+		case javatok.Shr:
+			p.expectGt()
+			depth--
+		case javatok.Ushr:
+			p.expectGt()
+			depth--
+		default:
+			p.advance()
+		}
+	}
+}
+
+func (p *parser) parseTypeDecl(mods []string) *javaast.TypeDecl {
+	t := &javaast.TypeDecl{Modifiers: mods, P: p.cur().Pos}
+	// Annotation type declaration: @interface Name { ... } — parsed as an
+	// interface with its member bodies skipped (the analyzer never needs
+	// annotation elements).
+	if p.cur().Kind == javatok.At && p.peek().Is("interface") {
+		p.advance()
+		p.advance()
+		t.Kind = javaast.InterfaceKind
+		t.Name = p.expect(javatok.Ident).Text
+		p.skipBalanced(javatok.LBrace, javatok.RBrace)
+		return t
+	}
+	switch {
+	case p.acceptKw("class"):
+		t.Kind = javaast.ClassKind
+	case p.acceptKw("interface"):
+		t.Kind = javaast.InterfaceKind
+	case p.acceptKw("enum"):
+		t.Kind = javaast.EnumKind
+	default:
+		p.fail(fmt.Sprintf("expected type declaration, found %v", p.cur()))
+	}
+	t.Name = p.expect(javatok.Ident).Text
+	p.skipTypeParams()
+	if p.acceptKw("extends") {
+		t.Extends = p.parseTypeRef().Name
+		p.skipTypeParams()
+		for p.accept(javatok.Comma) { // interface extending several
+			t.Implements = append(t.Implements, p.parseTypeRef().Name)
+			p.skipTypeParams()
+		}
+	}
+	if p.acceptKw("implements") {
+		t.Implements = append(t.Implements, p.parseTypeRef().Name)
+		p.skipTypeParams()
+		for p.accept(javatok.Comma) {
+			t.Implements = append(t.Implements, p.parseTypeRef().Name)
+			p.skipTypeParams()
+		}
+	}
+	p.expect(javatok.LBrace)
+	if t.Kind == javaast.EnumKind {
+		p.parseEnumConstants(t)
+	}
+	for p.cur().Kind != javatok.RBrace && p.cur().Kind != javatok.EOF {
+		start := p.i
+		p.parseMember(t)
+		if p.i == start {
+			p.advance()
+		}
+	}
+	p.accept(javatok.RBrace)
+	return t
+}
+
+func (p *parser) parseEnumConstants(t *javaast.TypeDecl) {
+	for p.cur().Kind == javatok.Ident || p.cur().Kind == javatok.At {
+		p.skipAnnotations()
+		if p.cur().Kind != javatok.Ident {
+			break
+		}
+		t.EnumConsts = append(t.EnumConsts, p.advance().Text)
+		if p.cur().Kind == javatok.LParen {
+			p.skipBalanced(javatok.LParen, javatok.RParen)
+		}
+		if p.cur().Kind == javatok.LBrace {
+			p.skipBalanced(javatok.LBrace, javatok.RBrace)
+		}
+		if !p.accept(javatok.Comma) {
+			break
+		}
+	}
+	p.accept(javatok.Semi)
+}
+
+// parseMember parses one class member, recovering from syntax errors by
+// skipping to the next member boundary.
+func (p *parser) parseMember(t *javaast.TypeDecl) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			p.record(pe)
+			p.skipToMemberBoundary()
+		}
+	}()
+	if p.accept(javatok.Semi) {
+		return
+	}
+	pos := p.cur().Pos
+	mods := p.parseModifiers()
+
+	// Initializer block (static or instance).
+	if p.cur().Kind == javatok.LBrace {
+		body := p.parseBlock()
+		name := "<instance-init>"
+		for _, m := range mods {
+			if m == "static" {
+				name = "<static-init>"
+			}
+		}
+		t.Methods = append(t.Methods, &javaast.MethodDecl{
+			Name: name, Modifiers: mods, Body: body, P: pos,
+		})
+		return
+	}
+
+	// Nested type (including nested @interface declarations).
+	if p.cur().Is("class") || p.cur().Is("interface") || p.cur().Is("enum") ||
+		(p.cur().Kind == javatok.At && p.peek().Is("interface")) {
+		t.Nested = append(t.Nested, p.parseTypeDecl(mods))
+		return
+	}
+
+	p.skipTypeParams() // generic method type parameters
+
+	// Constructor: ClassName followed by '('.
+	if p.cur().Kind == javatok.Ident && p.cur().Text == t.Name &&
+		p.peek().Kind == javatok.LParen {
+		m := &javaast.MethodDecl{Name: t.Name, Modifiers: mods,
+			IsConstructor: true, P: pos}
+		p.advance()
+		m.Params = p.parseParams()
+		p.parseThrows(m)
+		if p.cur().Kind == javatok.LBrace {
+			m.Body = p.parseBlock()
+		} else {
+			p.accept(javatok.Semi)
+		}
+		t.Methods = append(t.Methods, m)
+		return
+	}
+
+	typ := p.parseTypeRefOrVoid()
+	name := p.expect(javatok.Ident).Text
+
+	if p.cur().Kind == javatok.LParen {
+		m := &javaast.MethodDecl{Name: name, Modifiers: mods,
+			ReturnType: typ, P: pos}
+		m.Params = p.parseParams()
+		// Trailing array dims on the method: int m()[] — rare, fold into
+		// return type.
+		for p.cur().Kind == javatok.LBracket && p.peek().Kind == javatok.RBracket {
+			p.advance()
+			p.advance()
+			m.ReturnType.Dims++
+		}
+		p.parseThrows(m)
+		if p.cur().Kind == javatok.LBrace {
+			m.Body = p.parseBlock()
+		} else {
+			p.accept(javatok.Semi)
+		}
+		t.Methods = append(t.Methods, m)
+		return
+	}
+
+	// Field declaration, possibly with several declarators.
+	for {
+		f := &javaast.FieldDecl{Name: name, Modifiers: mods, P: pos}
+		ft := *typ
+		for p.cur().Kind == javatok.LBracket && p.peek().Kind == javatok.RBracket {
+			p.advance()
+			p.advance()
+			ft.Dims++
+		}
+		f.Type = &ft
+		if p.accept(javatok.Assign) {
+			f.Init = p.parseVarInit()
+		}
+		t.Fields = append(t.Fields, f)
+		if !p.accept(javatok.Comma) {
+			break
+		}
+		pos = p.cur().Pos
+		name = p.expect(javatok.Ident).Text
+	}
+	p.accept(javatok.Semi)
+}
+
+// memberStartKeywords are sync points for member-level error recovery.
+var memberStartKeywords = map[string]bool{
+	"public": true, "private": true, "protected": true, "static": true,
+	"final": true, "abstract": true, "void": true,
+	"class": true, "interface": true, "enum": true,
+}
+
+func (p *parser) skipToMemberBoundary() {
+	depth := 0
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case javatok.EOF:
+			return
+		case javatok.LBrace:
+			depth++
+		case javatok.RBrace:
+			if depth == 0 {
+				return // let parseTypeDecl consume the class's closing brace
+			}
+			depth--
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		case javatok.Semi:
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		case javatok.Keyword:
+			// A member-start keyword is a strong signal that the broken
+			// member has ended. Tolerate one unbalanced '{' swallowed from
+			// the broken member's would-be body.
+			if depth <= 1 && memberStartKeywords[t.Text] {
+				return
+			}
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseThrows(m *javaast.MethodDecl) {
+	if p.acceptKw("throws") {
+		m.Throws = append(m.Throws, p.parseQualifiedName())
+		for p.accept(javatok.Comma) {
+			m.Throws = append(m.Throws, p.parseQualifiedName())
+		}
+	}
+}
+
+func (p *parser) parseParams() []*javaast.Param {
+	p.expect(javatok.LParen)
+	var params []*javaast.Param
+	for p.cur().Kind != javatok.RParen && p.cur().Kind != javatok.EOF {
+		p.skipAnnotations()
+		p.acceptKw("final")
+		p.skipAnnotations()
+		prm := &javaast.Param{P: p.cur().Pos}
+		prm.Type = p.parseTypeRef()
+		if p.accept(javatok.Ellipsis) {
+			prm.Variadic = true
+			prm.Type.Dims++
+		}
+		prm.Name = p.expect(javatok.Ident).Text
+		for p.cur().Kind == javatok.LBracket && p.peek().Kind == javatok.RBracket {
+			p.advance()
+			p.advance()
+			prm.Type.Dims++
+		}
+		params = append(params, prm)
+		if !p.accept(javatok.Comma) {
+			break
+		}
+	}
+	p.expect(javatok.RParen)
+	return params
+}
+
+var primitiveTypes = map[string]bool{
+	"boolean": true, "byte": true, "char": true, "short": true,
+	"int": true, "long": true, "float": true, "double": true,
+}
+
+// parseTypeRefOrVoid parses a type reference or the void keyword.
+func (p *parser) parseTypeRefOrVoid() *javaast.TypeRef {
+	if p.cur().Is("void") {
+		t := &javaast.TypeRef{Name: "void", P: p.cur().Pos}
+		p.advance()
+		return t
+	}
+	return p.parseTypeRef()
+}
+
+// parseTypeRef parses a (possibly qualified, possibly generic, possibly
+// array) type reference. Generic arguments are skipped.
+func (p *parser) parseTypeRef() *javaast.TypeRef {
+	t := &javaast.TypeRef{P: p.cur().Pos}
+	cur := p.cur()
+	if cur.Kind == javatok.Keyword && primitiveTypes[cur.Text] {
+		t.Name = cur.Text
+		p.advance()
+	} else if cur.Kind == javatok.Ident {
+		t.Name = p.parseQualifiedNameGeneric()
+	} else {
+		p.fail(fmt.Sprintf("expected type, found %v", cur))
+	}
+	for p.cur().Kind == javatok.LBracket && p.peek().Kind == javatok.RBracket {
+		p.advance()
+		p.advance()
+		t.Dims++
+	}
+	return t
+}
+
+// parseQualifiedNameGeneric parses a dotted name where each segment may carry
+// type arguments (which are skipped): a.b.C<D>.E .
+func (p *parser) parseQualifiedNameGeneric() string {
+	var parts []string
+	parts = append(parts, p.expect(javatok.Ident).Text)
+	p.skipTypeParams()
+	for p.cur().Kind == javatok.Dot && p.peek().Kind == javatok.Ident {
+		p.advance()
+		parts = append(parts, p.advance().Text)
+		p.skipTypeParams()
+	}
+	return strings.Join(parts, ".")
+}

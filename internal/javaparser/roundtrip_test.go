@@ -1,0 +1,139 @@
+package javaparser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/javaast"
+)
+
+// genExpr builds a random expression over a printable subset of the AST
+// (literals, names, field access, calls, indexing, unary and binary
+// operators, ternaries). ExprString fully parenthesizes binaries, so the
+// rendered form must reparse to a structurally identical expression.
+func genExpr(rng *rand.Rand, depth int) javaast.Expr {
+	names := []string{"key", "cipher", "spec", "buf", "mode"}
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &javaast.Literal{Kind: javaast.IntLit, Value: []string{"0", "1", "42", "1000"}[rng.Intn(4)]}
+		case 1:
+			return &javaast.Literal{Kind: javaast.StringLit, Value: []string{"AES", "AES/CBC", "SHA-256"}[rng.Intn(3)]}
+		case 2:
+			return &javaast.Literal{Kind: javaast.BoolLit, Value: []string{"true", "false"}[rng.Intn(2)]}
+		default:
+			return &javaast.Name{Ident: names[rng.Intn(len(names))]}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "==", "!=", "<", ">", "&&", "||", "&", "|", "^"}
+		return &javaast.Binary{Op: ops[rng.Intn(len(ops))],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 1:
+		ops := []string{"-", "!", "~"}
+		return &javaast.Unary{Op: ops[rng.Intn(len(ops))], X: genExpr(rng, depth-1)}
+	case 2:
+		return &javaast.FieldAccess{X: &javaast.Name{Ident: names[rng.Intn(len(names))]},
+			Name: "field"}
+	case 3:
+		nArgs := rng.Intn(3)
+		args := make([]javaast.Expr, nArgs)
+		for i := range args {
+			args[i] = genExpr(rng, depth-1)
+		}
+		return &javaast.Call{Recv: &javaast.Name{Ident: names[rng.Intn(len(names))]},
+			Name: "call", Args: args}
+	case 4:
+		return &javaast.Index{X: &javaast.Name{Ident: "buf"}, I: genExpr(rng, depth-1)}
+	case 5:
+		return &javaast.Cond{C: genExpr(rng, depth-1), T: genExpr(rng, depth-1),
+			F: genExpr(rng, depth-1)}
+	default:
+		return genExpr(rng, 0)
+	}
+}
+
+// TestQuickExprRoundTrip: rendering a random expression and reparsing it
+// yields the same rendering (parser ∘ printer = identity on the printable
+// subset).
+func TestQuickExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3)
+		src := javaast.ExprString(e)
+		res := Parse("class T { void m() { Object probe = " + src + "; } }")
+		if len(res.Errors) > 0 {
+			t.Logf("parse errors for %q: %v", src, res.Errors)
+			return false
+		}
+		var got javaast.Expr
+		javaast.Walk(res.Unit, func(n javaast.Node) bool {
+			if d, ok := n.(*javaast.LocalVarDecl); ok && d.Name == "probe" {
+				got = d.Init
+			}
+			return true
+		})
+		if got == nil {
+			t.Logf("initializer lost for %q", src)
+			return false
+		}
+		if rendered := javaast.ExprString(got); rendered != src {
+			t.Logf("round trip: %q → %q", src, rendered)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserNeverPanics: random mutations of a valid file (deletions,
+// duplications, splices) must never panic the parser.
+func TestQuickParserNeverPanics(t *testing.T) {
+	base := []byte(paperExample)
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		src := append([]byte{}, base...)
+		for i := 0; i < 8; i++ {
+			if len(src) < 2 {
+				break
+			}
+			switch rng.Intn(3) {
+			case 0: // delete a span
+				at := rng.Intn(len(src) - 1)
+				n := rng.Intn(20) + 1
+				if at+n > len(src) {
+					n = len(src) - at
+				}
+				src = append(src[:at], src[at+n:]...)
+			case 1: // duplicate a span
+				at := rng.Intn(len(src) - 1)
+				n := rng.Intn(12) + 1
+				if at+n > len(src) {
+					n = len(src) - at
+				}
+				chunk := append([]byte{}, src[at:at+n]...)
+				src = append(src[:at], append(chunk, src[at:]...)...)
+			case 2: // splice a random token
+				toks := []string{"{", "}", "(", ")", ";", "new", "class",
+					"if", "0x", "\"", "¬", "<", ">>"}
+				tok := toks[rng.Intn(len(toks))]
+				at := rng.Intn(len(src))
+				src = append(src[:at], append([]byte(tok), src[at:]...)...)
+			}
+		}
+		Parse(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

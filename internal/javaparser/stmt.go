@@ -1,0 +1,446 @@
+package javaparser
+
+import (
+	"fmt"
+
+	"repro/internal/javaast"
+	"repro/internal/javatok"
+)
+
+// parseBlock parses { stmts } with per-statement error recovery.
+func (p *parser) parseBlock() *javaast.Block {
+	b := &javaast.Block{P: p.cur().Pos}
+	p.expect(javatok.LBrace)
+	for p.cur().Kind != javatok.RBrace && p.cur().Kind != javatok.EOF {
+		start := p.i
+		s := p.parseStmtRecover()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.i == start {
+			p.advance()
+		}
+	}
+	p.accept(javatok.RBrace)
+	return b
+}
+
+// parseStmtRecover parses one statement, skipping to the next ';' or
+// balanced '}' on error.
+func (p *parser) parseStmtRecover() (s javaast.Stmt) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			p.record(pe)
+			p.skipToStmtBoundary()
+			s = nil
+		}
+	}()
+	stmts := p.parseStmt()
+	if len(stmts) == 1 {
+		return stmts[0]
+	}
+	if len(stmts) == 0 {
+		return nil
+	}
+	// Multi-declarator local declaration: wrap in a synthetic block so the
+	// statement slice shape is preserved for callers expecting one node.
+	return &javaast.Block{Stmts: stmts, P: stmts[0].Pos()}
+}
+
+func (p *parser) skipToStmtBoundary() {
+	depth := 0
+	for {
+		switch p.cur().Kind {
+		case javatok.EOF:
+			return
+		case javatok.Semi:
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		case javatok.LBrace:
+			depth++
+		case javatok.RBrace:
+			if depth == 0 {
+				return
+			}
+			depth--
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		}
+		p.advance()
+	}
+}
+
+// parseStmt parses one statement. Local variable declarations with several
+// declarators expand to several statements.
+func (p *parser) parseStmt() []javaast.Stmt {
+	pos := p.cur().Pos
+	t := p.cur()
+	switch {
+	case t.Kind == javatok.LBrace:
+		return []javaast.Stmt{p.parseBlock()}
+	case t.Kind == javatok.Semi:
+		p.advance()
+		return []javaast.Stmt{&javaast.EmptyStmt{P: pos}}
+	case t.Is("if"):
+		return []javaast.Stmt{p.parseIf()}
+	case t.Is("while"):
+		return []javaast.Stmt{p.parseWhile()}
+	case t.Is("do"):
+		return []javaast.Stmt{p.parseDo()}
+	case t.Is("for"):
+		return []javaast.Stmt{p.parseFor()}
+	case t.Is("return"):
+		p.advance()
+		var x javaast.Expr
+		if p.cur().Kind != javatok.Semi {
+			x = p.parseExpr()
+		}
+		p.accept(javatok.Semi)
+		return []javaast.Stmt{&javaast.ReturnStmt{X: x, P: pos}}
+	case t.Is("throw"):
+		p.advance()
+		x := p.parseExpr()
+		p.accept(javatok.Semi)
+		return []javaast.Stmt{&javaast.ThrowStmt{X: x, P: pos}}
+	case t.Is("try"):
+		return []javaast.Stmt{p.parseTry()}
+	case t.Is("switch"):
+		return []javaast.Stmt{p.parseSwitch()}
+	case t.Is("break"):
+		p.advance()
+		label := ""
+		if p.cur().Kind == javatok.Ident {
+			label = p.advance().Text
+		}
+		p.accept(javatok.Semi)
+		return []javaast.Stmt{&javaast.BreakStmt{Label: label, P: pos}}
+	case t.Is("continue"):
+		p.advance()
+		label := ""
+		if p.cur().Kind == javatok.Ident {
+			label = p.advance().Text
+		}
+		p.accept(javatok.Semi)
+		return []javaast.Stmt{&javaast.ContinueStmt{Label: label, P: pos}}
+	case t.Is("synchronized"):
+		p.advance()
+		p.expect(javatok.LParen)
+		lock := p.parseExpr()
+		p.expect(javatok.RParen)
+		return []javaast.Stmt{&javaast.SyncStmt{Lock: lock, Body: p.parseBlock(), P: pos}}
+	case t.Is("assert"):
+		p.advance()
+		cond := p.parseExpr()
+		var msg javaast.Expr
+		if p.accept(javatok.Colon) {
+			msg = p.parseExpr()
+		}
+		p.accept(javatok.Semi)
+		return []javaast.Stmt{&javaast.AssertStmt{Cond: cond, Msg: msg, P: pos}}
+	case t.Is("class") || t.Is("interface") || t.Is("enum"):
+		// Local class: parse and drop (the analyzer does not track them).
+		p.parseTypeDecl(nil)
+		return nil
+	case t.Is("final"):
+		p.advance()
+		return p.parseLocalDecl(pos)
+	case t.Kind == javatok.Ident && p.peek().Kind == javatok.Colon &&
+		p.at(2).Kind != javatok.Colon:
+		label := p.advance().Text
+		p.advance() // ':'
+		inner := p.parseStmtRecover()
+		return []javaast.Stmt{&javaast.LabeledStmt{Label: label, Stmt: inner, P: pos}}
+	}
+
+	// Local variable declaration vs expression statement: speculate.
+	if p.looksLikeLocalDecl() {
+		return p.parseLocalDecl(pos)
+	}
+	x := p.parseExpr()
+	p.accept(javatok.Semi)
+	return []javaast.Stmt{&javaast.ExprStmt{X: x, P: pos}}
+}
+
+// looksLikeLocalDecl reports whether the upcoming tokens parse as
+// "Type Ident" — the start of a local declaration. Speculative; restores the
+// cursor either way.
+func (p *parser) looksLikeLocalDecl() bool {
+	t := p.cur()
+	if t.Kind == javatok.Keyword && primitiveTypes[t.Text] {
+		return true
+	}
+	if t.Kind != javatok.Ident {
+		return false
+	}
+	m := p.mark()
+	snap := p.snapshot(64)
+	ok := func() (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isPE := r.(parseError); isPE {
+					ok = false
+					return
+				}
+				panic(r)
+			}
+		}()
+		p.parseTypeRef()
+		return p.cur().Kind == javatok.Ident
+	}()
+	p.restore(m, snap)
+	return ok
+}
+
+func (p *parser) parseLocalDecl(pos javatok.Pos) []javaast.Stmt {
+	typ := p.parseTypeRef()
+	var out []javaast.Stmt
+	for {
+		name := p.expect(javatok.Ident).Text
+		dt := *typ
+		for p.cur().Kind == javatok.LBracket && p.peek().Kind == javatok.RBracket {
+			p.advance()
+			p.advance()
+			dt.Dims++
+		}
+		d := &javaast.LocalVarDecl{Name: name, Type: &dt, P: pos}
+		if p.accept(javatok.Assign) {
+			d.Init = p.parseVarInit()
+		}
+		out = append(out, d)
+		if !p.accept(javatok.Comma) {
+			break
+		}
+	}
+	p.accept(javatok.Semi)
+	return out
+}
+
+// parseVarInit parses a variable initializer: an expression or an array
+// initializer { ... }.
+func (p *parser) parseVarInit() javaast.Expr {
+	if p.cur().Kind == javatok.LBrace {
+		return p.parseArrayInit()
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parseArrayInit() javaast.Expr {
+	ai := &javaast.ArrayInit{P: p.cur().Pos}
+	p.expect(javatok.LBrace)
+	for p.cur().Kind != javatok.RBrace && p.cur().Kind != javatok.EOF {
+		ai.Elems = append(ai.Elems, p.parseVarInit())
+		if !p.accept(javatok.Comma) {
+			break
+		}
+	}
+	p.expect(javatok.RBrace)
+	return ai
+}
+
+func (p *parser) parseIf() javaast.Stmt {
+	pos := p.cur().Pos
+	p.expectKw("if")
+	p.expect(javatok.LParen)
+	cond := p.parseExpr()
+	p.expect(javatok.RParen)
+	then := p.parseStmtRecover()
+	var els javaast.Stmt
+	if p.acceptKw("else") {
+		els = p.parseStmtRecover()
+	}
+	return &javaast.IfStmt{Cond: cond, Then: then, Else: els, P: pos}
+}
+
+func (p *parser) parseWhile() javaast.Stmt {
+	pos := p.cur().Pos
+	p.expectKw("while")
+	p.expect(javatok.LParen)
+	cond := p.parseExpr()
+	p.expect(javatok.RParen)
+	return &javaast.WhileStmt{Cond: cond, Body: p.parseStmtRecover(), P: pos}
+}
+
+func (p *parser) parseDo() javaast.Stmt {
+	pos := p.cur().Pos
+	p.expectKw("do")
+	body := p.parseStmtRecover()
+	p.expectKw("while")
+	p.expect(javatok.LParen)
+	cond := p.parseExpr()
+	p.expect(javatok.RParen)
+	p.accept(javatok.Semi)
+	return &javaast.DoStmt{Body: body, Cond: cond, P: pos}
+}
+
+func (p *parser) parseFor() javaast.Stmt {
+	pos := p.cur().Pos
+	p.expectKw("for")
+	p.expect(javatok.LParen)
+
+	// Enhanced for: [final] Type Ident : expr
+	m := p.mark()
+	snap := p.snapshot(64)
+	if fe := p.tryParseForEach(pos); fe != nil {
+		return fe
+	}
+	p.restore(m, snap)
+
+	f := &javaast.ForStmt{P: pos}
+	if p.cur().Kind != javatok.Semi {
+		p.acceptKw("final")
+		if p.looksLikeLocalDecl() {
+			f.Init = p.parseLocalDecl(p.cur().Pos) // consumes ';'
+		} else {
+			f.Init = append(f.Init, &javaast.ExprStmt{X: p.parseExpr(), P: p.cur().Pos})
+			for p.accept(javatok.Comma) {
+				f.Init = append(f.Init, &javaast.ExprStmt{X: p.parseExpr(), P: p.cur().Pos})
+			}
+			p.expect(javatok.Semi)
+		}
+	} else {
+		p.advance()
+	}
+	if p.cur().Kind != javatok.Semi {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(javatok.Semi)
+	for p.cur().Kind != javatok.RParen && p.cur().Kind != javatok.EOF {
+		f.Post = append(f.Post, p.parseExpr())
+		if !p.accept(javatok.Comma) {
+			break
+		}
+	}
+	p.expect(javatok.RParen)
+	f.Body = p.parseStmtRecover()
+	return f
+}
+
+// tryParseForEach speculatively parses the header of an enhanced for loop,
+// returning nil (without consuming input on failure is the caller's job via
+// restore) when the header is not "Type Ident :".
+func (p *parser) tryParseForEach(pos javatok.Pos) (fe javaast.Stmt) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(parseError); ok {
+				fe = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.acceptKw("final")
+	typ := p.parseTypeRef()
+	if p.cur().Kind != javatok.Ident {
+		return nil
+	}
+	name := p.advance().Text
+	if !p.accept(javatok.Colon) {
+		return nil
+	}
+	iter := p.parseExpr()
+	p.expect(javatok.RParen)
+	v := &javaast.LocalVarDecl{Name: name, Type: typ, P: pos}
+	return &javaast.ForEachStmt{Var: v, Expr: iter, Body: p.parseStmtRecover(), P: pos}
+}
+
+func (p *parser) parseTry() javaast.Stmt {
+	pos := p.cur().Pos
+	p.expectKw("try")
+	t := &javaast.TryStmt{P: pos}
+	if p.cur().Kind == javatok.LParen {
+		p.advance()
+		for p.cur().Kind != javatok.RParen && p.cur().Kind != javatok.EOF {
+			p.acceptKw("final")
+			rpos := p.cur().Pos
+			typ := p.parseTypeRef()
+			name := p.expect(javatok.Ident).Text
+			r := &javaast.LocalVarDecl{Name: name, Type: typ, P: rpos}
+			if p.accept(javatok.Assign) {
+				r.Init = p.parseExpr()
+			}
+			t.Resources = append(t.Resources, r)
+			if !p.accept(javatok.Semi) {
+				break
+			}
+		}
+		p.expect(javatok.RParen)
+	}
+	t.Body = p.parseBlock()
+	for p.cur().Is("catch") {
+		c := &javaast.CatchClause{P: p.cur().Pos}
+		p.advance()
+		p.expect(javatok.LParen)
+		p.acceptKw("final")
+		prm := &javaast.Param{P: p.cur().Pos}
+		prm.Type = p.parseTypeRef()
+		for p.accept(javatok.Or) { // multi-catch: A | B e
+			c.Types = append(c.Types, p.parseTypeRef().Name)
+		}
+		if p.cur().Kind == javatok.Ident {
+			prm.Name = p.advance().Text
+		}
+		c.Param = prm
+		p.expect(javatok.RParen)
+		c.Body = p.parseBlock()
+		t.Catches = append(t.Catches, c)
+	}
+	if p.acceptKw("finally") {
+		t.Finally = p.parseBlock()
+	}
+	if t.Body == nil {
+		p.fail("try without body")
+	}
+	return t
+}
+
+func (p *parser) parseSwitch() javaast.Stmt {
+	pos := p.cur().Pos
+	p.expectKw("switch")
+	p.expect(javatok.LParen)
+	tag := p.parseExpr()
+	p.expect(javatok.RParen)
+	s := &javaast.SwitchStmt{Tag: tag, P: pos}
+	p.expect(javatok.LBrace)
+	var cur *javaast.SwitchCase
+	for p.cur().Kind != javatok.RBrace && p.cur().Kind != javatok.EOF {
+		switch {
+		case p.cur().Is("case"):
+			cpos := p.cur().Pos
+			p.advance()
+			v := p.parseExpr()
+			p.expect(javatok.Colon)
+			if cur == nil || len(cur.Body) > 0 {
+				cur = &javaast.SwitchCase{P: cpos}
+				s.Cases = append(s.Cases, cur)
+			}
+			cur.Values = append(cur.Values, v)
+		case p.cur().Is("default"):
+			cpos := p.cur().Pos
+			p.advance()
+			p.expect(javatok.Colon)
+			cur = &javaast.SwitchCase{P: cpos}
+			s.Cases = append(s.Cases, cur)
+		default:
+			if cur == nil {
+				p.fail(fmt.Sprintf("statement outside case in switch: %v", p.cur()))
+			}
+			start := p.i
+			if st := p.parseStmtRecover(); st != nil {
+				cur.Body = append(cur.Body, st)
+			}
+			if p.i == start {
+				p.advance()
+			}
+		}
+	}
+	p.accept(javatok.RBrace)
+	return s
+}

@@ -1,0 +1,332 @@
+package javatok
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer scans Java source text into tokens. It never fails: unexpected
+// characters yield Illegal tokens and scanning continues, which lets the
+// parser recover on partial programs.
+type Lexer struct {
+	src  string
+	off  int // current byte offset
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans all of src and returns the token stream, terminated by an
+// EOF token.
+func Tokenize(src string) []Token {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Offset: lx.off, Line: lx.line, Col: lx.col} }
+
+// peek returns the rune at the current offset without consuming it.
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+// peekAt returns the rune n bytes ahead (only valid for ASCII lookahead).
+func (lx *Lexer) peekAt(n int) rune {
+	if lx.off+n >= len(lx.src) {
+		return -1
+	}
+	return rune(lx.src[lx.off+n])
+}
+
+// advance consumes one rune, maintaining line/col bookkeeping.
+func (lx *Lexer) advance() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n' || r == '\f':
+			lx.advance()
+		case r == '/' && lx.peekAt(1) == '/':
+			for lx.peek() != '\n' && lx.peek() != -1 {
+				lx.advance()
+			}
+		case r == '/' && lx.peekAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				c := lx.advance()
+				if c == -1 {
+					return
+				}
+				if c == '*' && lx.peek() == '/' {
+					lx.advance()
+					break
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+// Next scans and returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	start := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: EOF, Pos: start}
+	case isIdentStart(r):
+		return lx.scanIdent(start)
+	case unicode.IsDigit(r):
+		return lx.scanNumber(start)
+	case r == '"':
+		return lx.scanString(start)
+	case r == '\'':
+		return lx.scanChar(start)
+	case r == '.' && unicode.IsDigit(lx.peekAt(1)):
+		return lx.scanNumber(start)
+	}
+	return lx.scanOperator(start)
+}
+
+func (lx *Lexer) scanIdent(start Pos) Token {
+	var sb strings.Builder
+	for isIdentPart(lx.peek()) {
+		sb.WriteRune(lx.advance())
+	}
+	text := sb.String()
+	kind := Ident
+	if keywords[text] {
+		kind = Keyword
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (lx *Lexer) scanNumber(start Pos) Token {
+	var sb strings.Builder
+	kind := IntLit
+	isHex := false
+	if lx.peek() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		isHex = true
+		sb.WriteRune(lx.advance())
+		sb.WriteRune(lx.advance())
+		for isHexDigit(lx.peek()) || lx.peek() == '_' {
+			sb.WriteRune(lx.advance())
+		}
+	} else if lx.peek() == '0' && (lx.peekAt(1) == 'b' || lx.peekAt(1) == 'B') {
+		sb.WriteRune(lx.advance())
+		sb.WriteRune(lx.advance())
+		for lx.peek() == '0' || lx.peek() == '1' || lx.peek() == '_' {
+			sb.WriteRune(lx.advance())
+		}
+	} else {
+		for unicode.IsDigit(lx.peek()) || lx.peek() == '_' {
+			sb.WriteRune(lx.advance())
+		}
+		if lx.peek() == '.' && unicode.IsDigit(lx.peekAt(1)) {
+			kind = DoubleLit
+			sb.WriteRune(lx.advance())
+			for unicode.IsDigit(lx.peek()) || lx.peek() == '_' {
+				sb.WriteRune(lx.advance())
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			if unicode.IsDigit(lx.peekAt(1)) ||
+				((lx.peekAt(1) == '+' || lx.peekAt(1) == '-') && unicode.IsDigit(lx.peekAt(2))) {
+				kind = DoubleLit
+				sb.WriteRune(lx.advance())
+				if lx.peek() == '+' || lx.peek() == '-' {
+					sb.WriteRune(lx.advance())
+				}
+				for unicode.IsDigit(lx.peek()) {
+					sb.WriteRune(lx.advance())
+				}
+			}
+		}
+	}
+	// Suffixes.
+	switch lx.peek() {
+	case 'l', 'L':
+		if !isHex || kind == IntLit {
+			lx.advance()
+			kind = LongLit
+		}
+	case 'f', 'F':
+		if !isHex {
+			lx.advance()
+			kind = FloatLit
+		}
+	case 'd', 'D':
+		if !isHex {
+			lx.advance()
+			kind = DoubleLit
+		}
+	}
+	text := strings.ReplaceAll(sb.String(), "_", "")
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func isHexDigit(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+// scanEscape decodes one escape sequence after the backslash has been
+// consumed, returning the decoded rune.
+func (lx *Lexer) scanEscape() rune {
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case 'b':
+		return '\b'
+	case 'f':
+		return '\f'
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		v := c - '0'
+		for i := 0; i < 2 && lx.peek() >= '0' && lx.peek() <= '7'; i++ {
+			v = v*8 + (lx.advance() - '0')
+		}
+		return v
+	case 'u':
+		for lx.peek() == 'u' {
+			lx.advance()
+		}
+		var v rune
+		for i := 0; i < 4 && isHexDigit(lx.peek()); i++ {
+			d := lx.advance()
+			switch {
+			case d >= '0' && d <= '9':
+				v = v*16 + (d - '0')
+			case d >= 'a' && d <= 'f':
+				v = v*16 + (d - 'a' + 10)
+			default:
+				v = v*16 + (d - 'A' + 10)
+			}
+		}
+		return v
+	default:
+		return c // \\, \', \", and anything unknown maps to itself
+	}
+}
+
+func (lx *Lexer) scanString(start Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c := lx.peek()
+		if c == -1 || c == '\n' {
+			return Token{Kind: Illegal, Text: sb.String(), Pos: start}
+		}
+		lx.advance()
+		if c == '"' {
+			return Token{Kind: StringLit, Text: sb.String(), Pos: start}
+		}
+		if c == '\\' {
+			sb.WriteRune(lx.scanEscape())
+			continue
+		}
+		sb.WriteRune(c)
+	}
+}
+
+func (lx *Lexer) scanChar(start Pos) Token {
+	lx.advance() // opening quote
+	c := lx.peek()
+	if c == -1 || c == '\n' {
+		return Token{Kind: Illegal, Pos: start}
+	}
+	lx.advance()
+	if c == '\\' {
+		c = lx.scanEscape()
+	}
+	if lx.peek() == '\'' {
+		lx.advance()
+		return Token{Kind: CharLit, Text: string(c), Pos: start}
+	}
+	// Unterminated char literal: consume up to the closing quote or EOL.
+	for lx.peek() != '\'' && lx.peek() != '\n' && lx.peek() != -1 {
+		lx.advance()
+	}
+	if lx.peek() == '\'' {
+		lx.advance()
+	}
+	return Token{Kind: Illegal, Text: string(c), Pos: start}
+}
+
+// opTable maps operator spellings to kinds, tried longest-first.
+var opTable = []struct {
+	text string
+	kind Kind
+}{
+	{">>>=", UshrEq},
+	{">>>", Ushr}, {"<<=", ShlEq}, {">>=", ShrEq}, {"...", Ellipsis},
+	{"==", Eq}, {"<=", Le}, {">=", Ge}, {"!=", Ne},
+	{"&&", AndAnd}, {"||", OrOr}, {"++", Inc}, {"--", Dec},
+	{"+=", PlusEq}, {"-=", MinusEq}, {"*=", StarEq}, {"/=", SlashEq},
+	{"&=", AndEq}, {"|=", OrEq}, {"^=", CaretEq}, {"%=", PercentEq},
+	{"<<", Shl}, {">>", Shr}, {"->", Arrow}, {"::", ColonCln},
+	{"(", LParen}, {")", RParen}, {"{", LBrace}, {"}", RBrace},
+	{"[", LBracket}, {"]", RBracket}, {";", Semi}, {",", Comma},
+	{".", Dot}, {"@", At}, {"=", Assign}, {">", Gt}, {"<", Lt},
+	{"!", Not}, {"~", Tilde}, {"?", Question}, {":", Colon},
+	{"+", Plus}, {"-", Minus}, {"*", Star}, {"/", Slash},
+	{"&", And}, {"|", Or}, {"^", Caret}, {"%", Percent},
+}
+
+func (lx *Lexer) scanOperator(start Pos) Token {
+	rest := lx.src[lx.off:]
+	for _, op := range opTable {
+		if strings.HasPrefix(rest, op.text) {
+			for range op.text {
+				lx.advance()
+			}
+			return Token{Kind: op.kind, Text: op.text, Pos: start}
+		}
+	}
+	r := lx.advance()
+	return Token{Kind: Illegal, Text: string(r), Pos: start}
+}

@@ -1,0 +1,144 @@
+// Package match provides a minimum-cost bipartite assignment solver (the
+// Hungarian algorithm). DiffCode uses it twice: to pair usage DAGs between
+// the old and new program version (paper §3.5) and to match feature paths
+// inside the usage-change distance metric (paper §4.3).
+package match
+
+import "math"
+
+// Assign solves the square assignment problem for the given cost matrix:
+// cost[i][j] is the cost of assigning row i to column j. It returns, for
+// each row, the assigned column, minimizing the total cost. The matrix must
+// be square and non-empty; callers pad rectangular problems (see Pad).
+//
+// The implementation is the O(n³) potential-based shortest augmenting path
+// variant (Jonker-Volgenant style with dual potentials).
+func Assign(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64
+	// 1-based arrays per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	res := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			res[p[j]-1] = j - 1
+		}
+	}
+	return res
+}
+
+// Pad extends a rectangular cost matrix to a square one, filling new cells
+// with padCost. It returns the padded matrix and the original dimensions.
+func Pad(cost [][]float64, padCost float64) [][]float64 {
+	rows := len(cost)
+	cols := 0
+	for _, r := range cost {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			if i < rows && j < len(cost[i]) {
+				out[i][j] = cost[i][j]
+			} else {
+				out[i][j] = padCost
+			}
+		}
+	}
+	return out
+}
+
+// TotalCost sums the cost of an assignment.
+func TotalCost(cost [][]float64, assign []int) float64 {
+	var sum float64
+	for i, j := range assign {
+		sum += cost[i][j]
+	}
+	return sum
+}
+
+// MinCostSum solves a (possibly rectangular) matching problem with rows×cols
+// costs given by cost(i, j), where unmatched rows/columns incur padCost
+// each. It returns the minimal total. This is the paper's pathsDist
+// primitive (and the DAG-pairing objective with root-only padding).
+func MinCostSum(rows, cols int, cost func(i, j int) float64, padCost float64) float64 {
+	if rows == 0 {
+		return float64(cols) * padCost
+	}
+	if cols == 0 {
+		return float64(rows) * padCost
+	}
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = cost(i, j)
+		}
+	}
+	padded := Pad(m, padCost)
+	assign := Assign(padded)
+	return TotalCost(padded, assign)
+}

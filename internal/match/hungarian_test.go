@@ -1,0 +1,173 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignIdentity(t *testing.T) {
+	cost := [][]float64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	}
+	got := Assign(cost)
+	for i, j := range got {
+		if i != j {
+			t.Errorf("row %d assigned to %d, want identity", i, j)
+		}
+	}
+}
+
+func TestAssignAntiIdentity(t *testing.T) {
+	cost := [][]float64{
+		{9, 9, 0},
+		{9, 0, 9},
+		{0, 9, 9},
+	}
+	got := Assign(cost)
+	want := []int{2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAssignClassic(t *testing.T) {
+	// Known instance: optimal cost is 5 (0→1:2, 1→0:2? compute by brute
+	// force below and compare).
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	got := Assign(cost)
+	if tc := TotalCost(cost, got); tc != bruteForce(cost) {
+		t.Errorf("total = %v, brute force = %v", tc, bruteForce(cost))
+	}
+}
+
+// bruteForce finds the optimal assignment cost by permutation enumeration.
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.MaxFloat64
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var s float64
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: Hungarian matches brute force on random matrices up to 6×6.
+func TestQuickAssignOptimal(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(100))
+			}
+		}
+		got := Assign(cost)
+		// Validity: a permutation.
+		seen := make([]bool, n)
+		for _, j := range got {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return TotalCost(cost, got) == bruteForce(cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadRectangular(t *testing.T) {
+	cost := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	}
+	p := Pad(cost, 7)
+	if len(p) != 3 || len(p[0]) != 3 {
+		t.Fatalf("padded dims = %dx%d", len(p), len(p[0]))
+	}
+	if p[2][0] != 7 || p[2][2] != 7 {
+		t.Error("pad cost not applied")
+	}
+	if p[1][2] != 6 {
+		t.Error("original cells changed")
+	}
+}
+
+func TestMinCostSum(t *testing.T) {
+	// 2 rows, 3 cols: best = match row0→col0 (0), row1→col1 (0), one
+	// unmatched column at padCost 1 → total 1.
+	cost := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.9
+	}
+	if got := MinCostSum(2, 3, cost, 1); got != 1 {
+		t.Errorf("MinCostSum = %v, want 1", got)
+	}
+	if got := MinCostSum(0, 4, nil, 0.5); got != 2 {
+		t.Errorf("empty rows: %v, want 2", got)
+	}
+	if got := MinCostSum(3, 0, nil, 1); got != 3 {
+		t.Errorf("empty cols: %v, want 3", got)
+	}
+	if got := MinCostSum(0, 0, nil, 1); got != 0 {
+		t.Errorf("both empty: %v, want 0", got)
+	}
+}
+
+func TestMinCostSumPrefersCheapMatch(t *testing.T) {
+	// Matching both rows beats leaving one unmatched when pad is expensive.
+	cost := func(i, j int) float64 { return 0.2 }
+	if got := MinCostSum(2, 2, cost, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("got %v, want 0.4", got)
+	}
+}
+
+func BenchmarkAssign20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Assign(cost)
+	}
+}

@@ -1,0 +1,126 @@
+package mining
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cryptoapi"
+)
+
+func TestUsesClass(t *testing.T) {
+	cases := []struct {
+		src, class string
+		want       bool
+	}{
+		{`Cipher c = Cipher.getInstance("AES");`, "Cipher", true},
+		{`MyCipher c;`, "Cipher", false},    // prefixed identifier
+		{`CipherSuite s;`, "Cipher", false}, // suffixed identifier
+		{`x = Cipher.ENCRYPT_MODE;`, "Cipher", true},
+		{`// Cipher in a comment`, "Cipher", true}, // pre-filter is textual
+		{``, "Cipher", false},
+		{`Cipher`, "Cipher", true},
+		{`aCipher Cipher bCipher`, "Cipher", true},
+		{`new SecretKeySpec(b, "AES")`, "SecretKeySpec", true},
+		{`SecretKeySpecial x;`, "SecretKeySpec", false},
+	}
+	for _, c := range cases {
+		if got := UsesClass(c.src, c.class); got != c.want {
+			t.Errorf("UsesClass(%q, %s) = %t, want %t", c.src, c.class, got, c.want)
+		}
+	}
+}
+
+func TestUsesAnyTarget(t *testing.T) {
+	if !UsesAnyTarget("SecureRandom r = new SecureRandom();") {
+		t.Error("SecureRandom not detected")
+	}
+	if UsesAnyTarget("int x = 1; // plain code") {
+		t.Error("false positive on plain code")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	c := corpus.Generate(corpus.Config{Seed: 3, Scale: 0.1, Projects: 15, ExtraProjects: 3})
+	ccs := Collect(c, Options{})
+	if len(ccs) == 0 {
+		t.Fatal("nothing collected")
+	}
+	for _, cc := range ccs {
+		if cc.Meta.Project == "" || cc.Meta.Commit == "" || cc.Meta.File == "" {
+			t.Errorf("missing provenance: %+v", cc.Meta)
+		}
+		if !UsesAnyTarget(cc.Old) && !UsesAnyTarget(cc.New) {
+			t.Errorf("%s: collected change not using any target class", cc.Meta.Commit)
+		}
+	}
+	// Held-out projects contribute no changes.
+	total := 0
+	for _, p := range c.TrainingProjects() {
+		total += len(p.Commits)
+	}
+	if len(ccs) > total {
+		t.Errorf("collected %d > %d training commits", len(ccs), total)
+	}
+}
+
+func TestCollectMinCommits(t *testing.T) {
+	c := corpus.Generate(corpus.Config{Seed: 3, Scale: 0.1, Projects: 15, ExtraProjects: 0})
+	all := Collect(c, Options{})
+	strict := Collect(c, Options{MinCommits: 10_000})
+	if len(strict) != 0 {
+		t.Errorf("MinCommits filter ignored: %d changes", len(strict))
+	}
+	if len(all) == 0 {
+		t.Error("baseline collection empty")
+	}
+}
+
+func TestCollectForClass(t *testing.T) {
+	c := corpus.Generate(corpus.Config{Seed: 4, Scale: 0.15, Projects: 25, ExtraProjects: 0})
+	forCipher := CollectForClass(c, cryptoapi.Cipher, Options{})
+	all := Collect(c, Options{})
+	if len(forCipher) == 0 {
+		t.Fatal("no Cipher changes at this scale")
+	}
+	if len(forCipher) >= len(all) {
+		t.Errorf("class filter removed nothing: %d vs %d", len(forCipher), len(all))
+	}
+	for _, cc := range forCipher {
+		if !UsesClass(cc.Old, cryptoapi.Cipher) && !UsesClass(cc.New, cryptoapi.Cipher) {
+			t.Errorf("%s: not a Cipher change", cc.Meta.Commit)
+		}
+	}
+}
+
+func TestForkDeduplication(t *testing.T) {
+	cfg := corpus.Config{Seed: 9, Scale: 0.2, Projects: 60, ExtraProjects: 0,
+		ForkFraction: 0.5}
+	c := corpus.Generate(cfg)
+	var forks int
+	for _, p := range c.Projects {
+		if p.ForkOf != "" {
+			forks++
+		}
+	}
+	if forks == 0 {
+		t.Fatal("no forks generated at ForkFraction 0.5")
+	}
+	deduped := Collect(c, Options{})
+	withForks := Collect(c, Options{KeepForks: true})
+	if len(withForks) <= len(deduped) {
+		t.Errorf("fork dedup removed nothing: %d vs %d changes", len(withForks), len(deduped))
+	}
+	// No deduped change may come from a fork (the upstream has the longer
+	// history and wins).
+	forkNames := map[string]bool{}
+	for _, p := range c.Projects {
+		if p.ForkOf != "" {
+			forkNames[p.Name] = true
+		}
+	}
+	for _, cc := range deduped {
+		if forkNames[cc.Meta.Project] {
+			t.Errorf("change from fork %s survived dedup", cc.Meta.Project)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package report renders fixed-width text tables for the evaluation
+// harness, mirroring the tables and figures of the paper's §6.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if w := utf8.RuneCountInString(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+		sb.WriteString(strings.Repeat("=", utf8.RuneCountInString(t.Title)) + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			pad := widths[i] - utf8.RuneCountInString(c)
+			if i == 0 {
+				sb.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString("  " + strings.Repeat(" ", pad) + c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for i, w := range widths {
+			total += w
+			if i > 0 {
+				total += 2
+			}
+		}
+		sb.WriteString(strings.Repeat("-", total) + "\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString(n + "\n")
+	}
+	return sb.String()
+}
+
+// Pct formats n/d as a percentage with one decimal, "-" when d is zero.
+func Pct(n, d int) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(d))
+}
+
+// Count formats "n (pct)" in the style of Figure 10's cells.
+func Count(n, d int) string {
+	return fmt.Sprintf("%d (%s)", n, Pct(n, d))
+}

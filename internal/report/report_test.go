@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"Name", "Count"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "12345")
+	tbl.AddNote("note %d", 7)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows, note.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" || !strings.HasPrefix(lines[1], "====") {
+		t.Errorf("title block wrong:\n%s", out)
+	}
+	// Numeric column is right-aligned: both data rows end at the same col.
+	if len(lines[4]) != len(lines[5]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if lines[6] != "note 7" {
+		t.Errorf("note = %q", lines[6])
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("x", "y")
+	out := tbl.String()
+	if strings.Contains(out, "--") {
+		t.Errorf("separator emitted without header:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Header: []string{"A"}}
+	tbl.AddRow("1", "2", "3") // wider than header
+	out := tbl.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want string
+	}{
+		{1, 2, "50.0%"},
+		{0, 10, "0.0%"},
+		{10, 10, "100.0%"},
+		{3, 0, "-"},
+		{289, 305, "94.8%"}, // the paper's R3 cell
+	}
+	for _, c := range cases {
+		if got := Pct(c.n, c.d); got != c.want {
+			t.Errorf("Pct(%d, %d) = %q, want %q", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Count(89, 257); got != "89 (34.6%)" { // the paper's R1 cell
+		t.Errorf("Count = %q", got)
+	}
+	if got := Count(0, 0); got != "0 (-)" {
+		t.Errorf("Count zero = %q", got)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tbl := &Table{Header: []string{"Rule", "Formula"}}
+	tbl.AddRow("R9", "IvParameterSpec : <init>(X) ∧ X≠⊤byte[]")
+	tbl.AddRow("R1", "short")
+	out := tbl.String()
+	if !strings.Contains(out, "⊤byte[]") {
+		t.Errorf("unicode cell mangled:\n%s", out)
+	}
+}

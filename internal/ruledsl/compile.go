@@ -1,0 +1,242 @@
+package ruledsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/analysis"
+	"repro/internal/rules"
+)
+
+// Parse compiles a textual rule into an executable rules.Rule. The id and
+// description annotate the result; the source text is preserved as the
+// rule's Formula.
+func Parse(id, description, src string) (*rules.Rule, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: %w", id, err)
+	}
+	clauses, err := parseRule(toks)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: %w", id, err)
+	}
+	r := &rules.Rule{ID: id, Description: description, Formula: src}
+	for _, c := range clauses {
+		c := c
+		r.Clauses = append(r.Clauses, rules.Clause{
+			Class:   c.class,
+			Negated: c.negated,
+			Pred:    compileFormula(c.formula),
+		})
+	}
+	return r, nil
+}
+
+// MustParse is Parse for static rule tables; it panics on error.
+func MustParse(id, description, src string) *rules.Rule {
+	r, err := Parse(id, description, src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// bindings maps rule variables to the abstract values they matched.
+type bindings map[string]absdom.Value
+
+func (b bindings) with(name string, v absdom.Value) bindings {
+	nb := make(bindings, len(b)+1)
+	for k, val := range b {
+		nb[k] = val
+	}
+	nb[name] = v
+	return nb
+}
+
+// compileFormula builds an object predicate that searches for a satisfying
+// assignment of events to call atoms (continuation-passing backtracking;
+// rule formulas are tiny, so this is cheap).
+func compileFormula(f node) rules.ObjPred {
+	return func(res *analysis.Result, obj *absdom.AObj, ctx rules.Context) bool {
+		events := res.Uses[obj]
+		return eval(f, events, ctx, bindings{}, func(bindings) bool { return true })
+	}
+}
+
+func eval(n node, events []analysis.Event, ctx rules.Context, env bindings, k func(bindings) bool) bool {
+	switch x := n.(type) {
+	case andNode:
+		return evalSeq(x.kids, events, ctx, env, k)
+	case orNode:
+		for _, kid := range x.kids {
+			if eval(kid, events, ctx, env, k) {
+				return true
+			}
+		}
+		return false
+	case notNode:
+		// Negation is evaluated against the current environment; bindings
+		// made inside do not escape.
+		if eval(x.kid, events, ctx, env, func(bindings) bool { return true }) {
+			return false
+		}
+		return k(env)
+	case callNode:
+		for _, ev := range events {
+			if ev.Sig.Name != x.method {
+				continue
+			}
+			if x.hasArgs && len(ev.Args) != len(x.args) {
+				continue
+			}
+			env2, ok := matchArgs(x.args, ev.Args, env)
+			if !ok {
+				continue
+			}
+			if k(env2) {
+				return true
+			}
+		}
+		return false
+	case cmpNode:
+		v, bound := env[x.varName]
+		if !bound {
+			return false
+		}
+		if !compare(v, x.op, x.value) {
+			return false
+		}
+		return k(env)
+	case startsNode:
+		v, bound := env[x.varName]
+		if !bound {
+			return false
+		}
+		if v.Kind != absdom.KStrConst ||
+			!strings.HasPrefix(norm(v.Payload), norm(x.value)) {
+			return false
+		}
+		return k(env)
+	case ctxNode:
+		ok := false
+		switch x.name {
+		case "LPRNG":
+			ok = ctx.HasLPRNG
+		case "ANDROID":
+			ok = ctx.Android
+		case "MIN_SDK_VERSION":
+			ok = compareInts(int64(ctx.MinSDKVersion), x.op, x.num) && ctx.Android
+		}
+		if !ok {
+			return false
+		}
+		return k(env)
+	}
+	return false
+}
+
+func evalSeq(kids []node, events []analysis.Event, ctx rules.Context, env bindings, k func(bindings) bool) bool {
+	if len(kids) == 0 {
+		return k(env)
+	}
+	return eval(kids[0], events, ctx, env, func(env2 bindings) bool {
+		return evalSeq(kids[1:], events, ctx, env2, k)
+	})
+}
+
+func matchArgs(pats []argPat, args []absdom.Value, env bindings) (bindings, bool) {
+	for i, p := range pats {
+		switch p.kind {
+		case argAny:
+		case argVar:
+			if prev, bound := env[p.name]; bound {
+				if !prev.Equal(args[i]) {
+					return nil, false
+				}
+			} else {
+				env = env.with(p.name, args[i])
+			}
+		case argLit:
+			if !literalEq(args[i], p.name) {
+				return nil, false
+			}
+		}
+	}
+	return env, true
+}
+
+// norm canonicalizes algorithm-ish literals for comparison: upper-case with
+// dashes removed, so the paper's SHA-1PRNG matches the JCA's "SHA1PRNG" and
+// SHA-1 matches both "SHA-1" and "SHA1".
+func norm(s string) string {
+	return strings.ReplaceAll(strings.ToUpper(s), "-", "")
+}
+
+// isTopLiteral recognizes the ⊤-notation literals of Figure 3.
+func isTopLiteral(lit string) bool {
+	return strings.HasPrefix(lit, "⊤")
+}
+
+// literalEq tests an abstract value against a literal token.
+func literalEq(v absdom.Value, lit string) bool {
+	if isTopLiteral(lit) {
+		return v.IsTop()
+	}
+	switch v.Kind {
+	case absdom.KStrConst, absdom.KIntConst, absdom.KBoolConst:
+		return norm(v.Payload) == norm(lit)
+	}
+	return false
+}
+
+// compare implements variable comparisons. Equality uses literalEq;
+// inequality against a ⊤-literal means "is a compile-time constant" (the
+// X ≠ ⊤byte[] reading of rules R9–R12); inequality against a value literal
+// holds unless the value is provably that constant (matching the paper's
+// checker, which flags unknown values too); numeric comparisons require a
+// provable integer constant.
+func compare(v absdom.Value, op tokKind, lit string) bool {
+	switch op {
+	case tEq:
+		return literalEq(v, lit)
+	case tNe:
+		if isTopLiteral(lit) {
+			return v.IsConst()
+		}
+		return !literalEq(v, lit)
+	case tLt, tLe, tGt, tGe:
+		if v.Kind != absdom.KIntConst {
+			return false
+		}
+		n, err := strconv.ParseInt(v.Payload, 0, 64)
+		if err != nil {
+			return false
+		}
+		m, err := strconv.ParseInt(lit, 0, 64)
+		if err != nil {
+			return false
+		}
+		return compareInts(n, op, m)
+	}
+	return false
+}
+
+func compareInts(n int64, op tokKind, m int64) bool {
+	switch op {
+	case tEq:
+		return n == m
+	case tNe:
+		return n != m
+	case tLt:
+		return n < m
+	case tLe:
+		return n <= m
+	case tGt:
+		return n > m
+	case tGe:
+		return n >= m
+	}
+	return false
+}

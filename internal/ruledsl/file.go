@@ -1,0 +1,44 @@
+package ruledsl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// ParseFile compiles a rules file. The format is line-oriented:
+//
+//	# comment
+//	R1 | Use SHA-256 instead of SHA-1 | MessageDigest : getInstance(X) ∧ X=SHA-1
+//
+// Blank lines and lines starting with '#' are ignored. Each rule line has
+// three '|'-separated fields: id, description, formula.
+func ParseFile(content string) ([]*rules.Rule, error) {
+	var out []*rules.Rule
+	seen := map[string]bool{}
+	for i, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "|", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("line %d: want 'id | description | formula', got %q", i+1, line)
+		}
+		id := strings.TrimSpace(parts[0])
+		if id == "" {
+			return nil, fmt.Errorf("line %d: empty rule id", i+1)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("line %d: duplicate rule id %q", i+1, id)
+		}
+		seen[id] = true
+		r, err := Parse(id, strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Package ruledsl implements a small compiler for the security-rule
+// notation of the paper's Figure 9, turning textual rules such as
+//
+//	MessageDigest : getInstance(X) ∧ X=SHA-1
+//	PBEKeySpec : <init>(_,_,X,_) ∧ X<1000
+//	Cipher : getInstance(X) ∧ (X=AES ∨ X=AES/ECB)
+//	(Cipher : getInstance(X) ∧ startsWith(X,AES/CBC)) ∧ ¬(Mac : getInstance(Z) ∧ startsWith(Z,Hmac))
+//
+// into executable rules.Rule values. The grammar:
+//
+//	rule      = clause { "∧" clause }
+//	clause    = [ "¬" ] "(" simple ")" | simple
+//	simple    = Class ":" formula
+//	formula   = or
+//	or        = and { "∨" and }
+//	and       = unary { "∧" unary }
+//	unary     = "¬" unary | "(" or ")" | atom
+//	atom      = call | comparison | startsWith | contextFlag
+//	call      = method [ "(" argpat { "," argpat } ")" ]
+//	argpat    = "_" | Var | literal
+//	comparison= Var ("=" | "≠" | "<" | "≤" | ">" | "≥") literal
+//	startsWith= "startsWith" "(" Var "," literal ")"
+//
+// Variables are single-letter uppercase identifiers (X, Y, Z). ASCII
+// fallbacks are accepted for the logical operators: "&&" or "and" for ∧,
+// "||" or "or" for ∨, "!" or "not" for ¬, "!=" for ≠, "<=" for ≤ and ">="
+// for ≥. Context flags are LPRNG, ANDROID, and MIN_SDK_VERSION (the last
+// in comparisons).
+package ruledsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tEOF      tokKind = iota
+	tIdent            // method/class names, literals like AES/CBC or SHA-1
+	tVar              // single uppercase letter
+	tWildcard         // _
+	tLParen
+	tRParen
+	tComma
+	tColon
+	tAnd // ∧
+	tOr  // ∨
+	tNot // ¬
+	tEq  // =
+	tNe  // ≠
+	tLt  // <
+	tLe  // ≤
+	tGt  // >
+	tGe  // ≥
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return [...]string{"EOF", "ident", "var", "_", "(", ")", ",", ":",
+		"∧", "∨", "¬", "=", "≠", "<", "≤", ">", "≥"}[t.kind]
+}
+
+// lex tokenizes a rule string. Literal tokens are maximal runs of
+// characters that are not whitespace, delimiters, or operators — this
+// admits transformation strings (AES/CBC/PKCS5Padding), algorithm names
+// with dashes (SHA-1), and the ⊤-notation (⊤byte[]).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(k tokKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(src) {
+		r, w := utf8.DecodeRuneInString(src[i:])
+		start := i
+		switch {
+		case r == ' ' || r == '\t' || r == '\n':
+			i += w
+		case r == '(':
+			emit(tLParen, "", start)
+			i += w
+		case r == ')':
+			emit(tRParen, "", start)
+			i += w
+		case r == ',':
+			emit(tComma, "", start)
+			i += w
+		case r == ':':
+			i += w
+			emit(tColon, "", start)
+		case r == '∧':
+			emit(tAnd, "", start)
+			i += w
+		case r == '∨':
+			emit(tOr, "", start)
+			i += w
+		case r == '¬':
+			emit(tNot, "", start)
+			i += w
+		case r == '!':
+			if strings.HasPrefix(src[i:], "!=") {
+				emit(tNe, "", start)
+				i += 2
+			} else {
+				emit(tNot, "", start)
+				i += w
+			}
+		case r == '&':
+			if !strings.HasPrefix(src[i:], "&&") {
+				return nil, fmt.Errorf("pos %d: single '&'", i)
+			}
+			emit(tAnd, "", start)
+			i += 2
+		case r == '|':
+			if !strings.HasPrefix(src[i:], "||") {
+				return nil, fmt.Errorf("pos %d: single '|'", i)
+			}
+			emit(tOr, "", start)
+			i += 2
+		case r == '=':
+			emit(tEq, "", start)
+			i += w
+		case r == '≠':
+			emit(tNe, "", start)
+			i += w
+		case r == '≤':
+			emit(tLe, "", start)
+			i += w
+		case r == '≥':
+			emit(tGe, "", start)
+			i += w
+		case r == '<':
+			// "<=" or "<init>" or plain "<".
+			if strings.HasPrefix(src[i:], "<=") {
+				emit(tLe, "", start)
+				i += 2
+			} else if strings.HasPrefix(src[i:], "<init>") {
+				emit(tIdent, "<init>", start)
+				i += len("<init>")
+			} else {
+				emit(tLt, "", start)
+				i += w
+			}
+		case r == '>':
+			if strings.HasPrefix(src[i:], ">=") {
+				emit(tGe, "", start)
+				i += 2
+			} else {
+				emit(tGt, "", start)
+				i += w
+			}
+		default:
+			j := i
+			for j < len(src) {
+				r2, w2 := utf8.DecodeRuneInString(src[j:])
+				if isLiteralRune(r2) {
+					j += w2
+					continue
+				}
+				break
+			}
+			if j == i {
+				return nil, fmt.Errorf("pos %d: unexpected character %q", i, r)
+			}
+			text := src[i:j]
+			i = j
+			switch {
+			case text == "_":
+				emit(tWildcard, "", start)
+			case text == "and":
+				emit(tAnd, "", start)
+			case text == "or":
+				emit(tOr, "", start)
+			case text == "not":
+				emit(tNot, "", start)
+			case isVarName(text):
+				emit(tVar, text, start)
+			default:
+				emit(tIdent, text, start)
+			}
+		}
+	}
+	emit(tEOF, "", i)
+	return toks, nil
+}
+
+// isLiteralRune admits the characters literals are made of: letters,
+// digits, and the punctuation appearing in transformation strings, digest
+// names, and ⊤-notation.
+func isLiteralRune(r rune) bool {
+	switch r {
+	case '/', '-', '.', '[', ']', '_', '⊤', '\'':
+		return true
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isVarName reports whether the token is a rule variable: one uppercase
+// letter, optionally primed (X, Y, Z, X').
+func isVarName(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	if len(s) == 1 {
+		return s[0] >= 'A' && s[0] <= 'Z'
+	}
+	return len(s) == 2 && s[0] >= 'A' && s[0] <= 'Z' && s[1] == '\''
+}

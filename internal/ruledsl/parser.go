@@ -1,0 +1,350 @@
+package ruledsl
+
+import "fmt"
+
+// Formula AST.
+type node interface{ nodeTag() }
+
+type orNode struct{ kids []node }
+type andNode struct{ kids []node }
+type notNode struct{ kid node }
+
+// callNode matches an event by method name; args constrain arity and
+// argument values when present.
+type callNode struct {
+	method  string
+	args    []argPat
+	hasArgs bool
+}
+
+// argPat is one argument pattern.
+type argPat struct {
+	kind argKind
+	name string // variable name or literal text
+}
+
+type argKind int
+
+const (
+	argAny argKind = iota // _
+	argVar                // X — binds the argument's abstract value
+	argLit                // literal constant, e.g. AES or 1000
+)
+
+// cmpNode compares a bound variable against a literal.
+type cmpNode struct {
+	varName string
+	op      tokKind // tEq, tNe, tLt, tLe, tGt, tGe
+	value   string
+}
+
+// startsNode is startsWith(X, prefix).
+type startsNode struct {
+	varName string
+	value   string
+}
+
+// ctxNode tests project context: LPRNG, ANDROID, or a MIN_SDK_VERSION
+// comparison.
+type ctxNode struct {
+	name string
+	op   tokKind // tEq etc.; 0 for bare flags
+	num  int64
+}
+
+func (orNode) nodeTag()     {}
+func (andNode) nodeTag()    {}
+func (notNode) nodeTag()    {}
+func (callNode) nodeTag()   {}
+func (cmpNode) nodeTag()    {}
+func (startsNode) nodeTag() {}
+func (ctxNode) nodeTag()    {}
+
+// clauseAST is one Class:formula conjunct of a (possibly composite) rule.
+type clauseAST struct {
+	class   string
+	negated bool
+	formula node
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("pos %d: expected %v, found %v",
+			p.cur().pos, token{kind: k}, p.cur())
+	}
+	return p.next(), nil
+}
+
+// parseRule parses the top level: clause { ∧ clause }.
+func parseRule(toks []token) ([]clauseAST, error) {
+	p := &parser{toks: toks}
+	var clauses []clauseAST
+	for {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, c)
+		if p.cur().kind != tAnd {
+			break
+		}
+		p.next()
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("pos %d: trailing input starting at %v", p.cur().pos, p.cur())
+	}
+	return clauses, nil
+}
+
+func (p *parser) parseClause() (clauseAST, error) {
+	negated := false
+	if p.cur().kind == tNot {
+		p.next()
+		negated = true
+		if _, err := p.expect(tLParen); err != nil {
+			return clauseAST{}, err
+		}
+		c, err := p.parseSimpleClause()
+		if err != nil {
+			return clauseAST{}, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return clauseAST{}, err
+		}
+		c.negated = true
+		return c, nil
+	}
+	if p.cur().kind == tLParen {
+		// Could be a parenthesized clause "(Class : ...)"; peek for the
+		// class-colon shape.
+		save := p.i
+		p.next()
+		if p.cur().kind == tIdent && p.toks[p.i+1].kind == tColon {
+			c, err := p.parseSimpleClause()
+			if err != nil {
+				return clauseAST{}, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return clauseAST{}, err
+			}
+			return c, nil
+		}
+		p.i = save
+	}
+	c, err := p.parseSimpleClause()
+	c.negated = negated
+	return c, err
+}
+
+func (p *parser) parseSimpleClause() (clauseAST, error) {
+	cls, err := p.expect(tIdent)
+	if err != nil {
+		return clauseAST{}, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return clauseAST{}, err
+	}
+	f, err := p.parseOr()
+	if err != nil {
+		return clauseAST{}, err
+	}
+	return clauseAST{class: cls.text, formula: f}, nil
+}
+
+func (p *parser) parseOr() (node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for p.cur().kind == tOr {
+		p.next()
+		n, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return orNode{kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for p.cur().kind == tAnd {
+		// The top-level rule conjunction also uses ∧; a following
+		// "( Ident :" or "¬( Ident :" belongs to the next clause.
+		if p.clauseFollows() {
+			break
+		}
+		p.next()
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return andNode{kids: kids}, nil
+}
+
+// clauseFollows reports whether the ∧ at the cursor starts a new
+// Class:formula clause rather than continuing the current formula.
+func (p *parser) clauseFollows() bool {
+	j := p.i + 1 // token after ∧
+	if j >= len(p.toks) {
+		return false
+	}
+	if p.toks[j].kind == tNot {
+		j++
+	}
+	if j < len(p.toks) && p.toks[j].kind == tLParen {
+		j++
+	}
+	return j+1 < len(p.toks) && p.toks[j].kind == tIdent && p.toks[j+1].kind == tColon
+}
+
+func (p *parser) parseUnary() (node, error) {
+	switch p.cur().kind {
+	case tNot:
+		p.next()
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{kid: kid}, nil
+	case tLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (node, error) {
+	switch p.cur().kind {
+	case tVar:
+		v := p.next()
+		op := p.cur().kind
+		switch op {
+		case tEq, tNe, tLt, tLe, tGt, tGe:
+			p.next()
+		default:
+			return nil, fmt.Errorf("pos %d: expected comparison after variable %s", p.cur().pos, v.text)
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return cmpNode{varName: v.text, op: op, value: val}, nil
+	case tIdent:
+		id := p.next()
+		switch id.text {
+		case "startsWith":
+			if _, err := p.expect(tLParen); err != nil {
+				return nil, err
+			}
+			v, err := p.expect(tVar)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tComma); err != nil {
+				return nil, err
+			}
+			val, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			return startsNode{varName: v.text, value: val}, nil
+		case "LPRNG", "ANDROID", "HAS_LPRNG":
+			name := id.text
+			if name == "HAS_LPRNG" {
+				name = "LPRNG"
+			}
+			return ctxNode{name: name}, nil
+		case "MIN_SDK_VERSION":
+			op := p.cur().kind
+			switch op {
+			case tEq, tNe, tLt, tLe, tGt, tGe:
+				p.next()
+			default:
+				return nil, fmt.Errorf("pos %d: expected comparison after MIN_SDK_VERSION", p.cur().pos)
+			}
+			val, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			var num int64
+			for _, r := range val {
+				if r < '0' || r > '9' {
+					return nil, fmt.Errorf("MIN_SDK_VERSION compared to non-number %q", val)
+				}
+				num = num*10 + int64(r-'0')
+			}
+			return ctxNode{name: "MIN_SDK_VERSION", op: op, num: num}, nil
+		}
+		// Method call atom.
+		call := callNode{method: id.text}
+		if p.cur().kind == tLParen {
+			p.next()
+			call.hasArgs = true
+			for p.cur().kind != tRParen {
+				switch p.cur().kind {
+				case tWildcard:
+					p.next()
+					call.args = append(call.args, argPat{kind: argAny})
+				case tVar:
+					call.args = append(call.args, argPat{kind: argVar, name: p.next().text})
+				case tIdent:
+					call.args = append(call.args, argPat{kind: argLit, name: p.next().text})
+				default:
+					return nil, fmt.Errorf("pos %d: bad argument pattern %v", p.cur().pos, p.cur())
+				}
+				if p.cur().kind == tComma {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+		}
+		return call, nil
+	}
+	return nil, fmt.Errorf("pos %d: unexpected %v in formula", p.cur().pos, p.cur())
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	t := p.cur()
+	if t.kind != tIdent && t.kind != tVar {
+		return "", fmt.Errorf("pos %d: expected literal, found %v", t.pos, t)
+	}
+	p.next()
+	return t.text, nil
+}

@@ -1,0 +1,34 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Explain renders a human-readable account of one violation: for each
+// witnessing object, its allocation site and the abstract usage events that
+// the rule matched against, in the notation of the paper's examples.
+func Explain(v Violation, res *analysis.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", v.Rule.ID, v.Rule.Description)
+	fmt.Fprintf(&sb, "  rule: %s\n", v.Rule.Formula)
+	for _, o := range v.Objs {
+		fmt.Fprintf(&sb, "  object %s (line %d):\n", o.SiteLabel(), o.Site.Line)
+		for _, ev := range res.Uses[o] {
+			fmt.Fprintf(&sb, "    %s\n", FormatEvent(ev))
+		}
+	}
+	return sb.String()
+}
+
+// FormatEvent renders one abstract usage event, e.g.
+// `Cipher.getInstance("AES", "BC")`.
+func FormatEvent(ev analysis.Event) string {
+	parts := make([]string, len(ev.Args))
+	for i, a := range ev.Args {
+		parts[i] = a.Label()
+	}
+	return fmt.Sprintf("%s.%s(%s)", ev.Sig.Class, ev.Sig.Name, strings.Join(parts, ", "))
+}

@@ -1,0 +1,275 @@
+package rules
+
+import (
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/analysis"
+	"repro/internal/cryptoapi"
+)
+
+// The 13 security rules of the paper's Figure 9.
+var (
+	// R1: Use SHA-256 instead of SHA-1.
+	R1 = &Rule{
+		ID:          "R1",
+		Description: "Use SHA-256 instead of SHA-1",
+		Formula:     "MessageDigest : getInstance(X) ∧ X=SHA-1",
+		Ref:         "Stevens et al., the first SHA-1 collision (2017)",
+		Clauses:     []Clause{{Class: cryptoapi.MessageDigest, Pred: predDigestWeak}},
+	}
+
+	// R2: PBE iteration count must be at least 1000.
+	R2 = &Rule{
+		ID:          "R2",
+		Description: "Do not use password-based encryption with iteration count less than 1000",
+		Formula:     "PBEKeySpec : <init>(_,_,X,_) ∧ X<1000",
+		Ref:         "Abadi & Warinschi, Password-Based Encryption Analyzed (2005)",
+		Clauses:     []Clause{{Class: cryptoapi.PBEKeySpec, Pred: predPBEIterations}},
+	}
+
+	// R3: SecureRandom should be used with SHA1PRNG.
+	R3 = &Rule{
+		ID:          "R3",
+		Description: "SecureRandom should be used with SHA1PRNG",
+		Formula:     "SecureRandom : <init>(X) ∧ X≠SHA-1PRNG",
+		Ref:         "The Right Way to Use SecureRandom (2015)",
+		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predNotSHA1PRNG}},
+	}
+
+	// R4: avoid getInstanceStrong on server-side code.
+	R4 = &Rule{
+		ID:          "R4",
+		Description: "SecureRandom with getInstanceStrong should be avoided",
+		Formula:     "SecureRandom : ¬getInstanceStrong",
+		Ref:         "Proper use of Java SecureRandom (2016)",
+		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predInstanceStrong}},
+	}
+
+	// R5: use the BouncyCastle provider for Cipher.
+	R5 = &Rule{
+		ID:          "R5",
+		Description: "Use the BouncyCastle provider for Cipher",
+		Formula:     "Cipher : getInstance(_,X) ∧ X≠BC",
+		Ref:         "Bouncy Castle vs JCA key-size restrictions (2016)",
+		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predNotBouncyCastle}},
+	}
+
+	// R6: Android SecureRandom PRNG vulnerability on SDK 16-18.
+	R6 = &Rule{
+		ID:            "R6",
+		Description:   "The underlying PRNG is vulnerable on Android v16-18",
+		Formula:       "SecureRandom : <init>(_) ∧ ¬LPRNG ∧ MIN_SDK_VERSION≥16",
+		Ref:           "Kaplan et al., Attacking the Linux PRNG on Android (WOOT'14)",
+		Clauses:       []Clause{{Class: cryptoapi.SecureRandom, Pred: predAndroidPRNG}},
+		ApplicableCtx: func(ctx Context) bool { return ctx.Android },
+	}
+
+	// R7: do not use Cipher in AES/ECB mode.
+	R7 = &Rule{
+		ID:          "R7",
+		Description: "Do not use Cipher in AES/ECB mode",
+		Formula:     "Cipher : getInstance(X) ∧ (X=AES ∨ X=AES/ECB)",
+		Ref:         "Bellare & Rogaway, Introduction to Modern Cryptography",
+		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predECB}},
+	}
+
+	// R8: do not use DES.
+	R8 = &Rule{
+		ID:          "R8",
+		Description: "Do not use Cipher with DES mode",
+		Formula:     "Cipher : getInstance(X) ∧ X=DES",
+		Ref:         "CERT MSC61-J: do not use insecure or weak cryptographic algorithms",
+		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predDES}},
+	}
+
+	// R9: IV must not be a static byte array.
+	R9 = &Rule{
+		ID:          "R9",
+		Description: "IvParameterSpec should not be initialized with a static byte array",
+		Formula:     "IvParameterSpec : <init>(X) ∧ X≠⊤byte[]",
+		Ref:         "Bellare & Rogaway, Introduction to Modern Cryptography",
+		Clauses:     []Clause{{Class: cryptoapi.IvParameterSpec, Pred: predCtorConstArg(0)}},
+	}
+
+	// R10: secret keys must not be static.
+	R10 = &Rule{
+		ID:          "R10",
+		Description: "SecretKeySpec should not be static",
+		Formula:     "SecretKeySpec : <init>(X) ∧ X≠⊤byte[]",
+		Ref:         "CryptoLint rule 3 (Egele et al., CCS'13)",
+		Clauses:     []Clause{{Class: cryptoapi.SecretKeySpec, Pred: predCtorConstArg(0)}},
+	}
+
+	// R11: PBE salt must not be static.
+	R11 = &Rule{
+		ID:          "R11",
+		Description: "Do not use password-based encryption with static salt",
+		Formula:     "PBEKeySpec : <init>(_,X,_,_) ∧ X≠⊤byte[]",
+		Ref:         "CryptoLint rule 4 (Egele et al., CCS'13)",
+		Clauses:     []Clause{{Class: cryptoapi.PBEKeySpec, Pred: predCtorConstArg(1)}},
+	}
+
+	// R12: SecureRandom seeds must not be static.
+	R12 = &Rule{
+		ID:          "R12",
+		Description: "Do not use SecureRandom static seed",
+		Formula:     "SecureRandom : setSeed(X) ∧ X≠⊤byte[]",
+		Ref:         "CryptoLint rule 6 (Egele et al., CCS'13)",
+		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predStaticSeed}},
+	}
+
+	// R13: integrity is missing after an RSA-based symmetric key exchange.
+	R13 = &Rule{
+		ID:          "R13",
+		Description: "Missing integrity check after symmetric key exchange",
+		Formula: "(Cipher : getInstance(X) ∧ startsWith(X,AES/CBC)) ∧ " +
+			"(Cipher : getInstance(Y) ∧ Y=RSA) ∧ ¬(Mac : getInstance(Z) ∧ startsWith(Z,Hmac))",
+		Ref: "Top 10 developer crypto mistakes (2017)",
+		Clauses: []Clause{
+			{Class: cryptoapi.Cipher, Pred: predTransformPrefix("AES/CBC")},
+			{Class: cryptoapi.Cipher, Pred: predTransformPrefix("RSA")},
+			{Class: cryptoapi.Mac, Negated: true, Pred: predMacHmac},
+		},
+	}
+)
+
+// All returns the 13 elicited rules of Figure 9, in order.
+func All() []*Rule {
+	return []*Rule{R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13}
+}
+
+// The five CryptoLint reference rules of §6.2 (subset of Figure 9,
+// re-labeled). CL1 = ECB, CL2 = static IV, CL3 = constant key,
+// CL4 = low PBE iteration count, CL5 = static salt.
+var (
+	CL1 = &Rule{ID: "CL1", Description: "Do not use ECB mode for encryption",
+		Formula: R7.Formula, Clauses: R7.Clauses}
+	CL2 = &Rule{ID: "CL2", Description: "Do not use a static initialization vector",
+		Formula: R9.Formula, Clauses: R9.Clauses}
+	CL3 = &Rule{ID: "CL3", Description: "Do not use constant encryption keys",
+		Formula: R10.Formula, Clauses: R10.Clauses}
+	CL4 = &Rule{ID: "CL4", Description: "Do not use fewer than 1000 PBE iterations",
+		Formula: R2.Formula, Clauses: R2.Clauses}
+	CL5 = &Rule{ID: "CL5", Description: "Do not use static salts for PBE",
+		Formula: R11.Formula, Clauses: R11.Clauses}
+)
+
+// CryptoLint returns the CL1–CL5 reference rules, in order.
+func CryptoLint() []*Rule {
+	return []*Rule{CL1, CL2, CL3, CL4, CL5}
+}
+
+// ByID resolves a rule identifier (R1..R13, CL1..CL5).
+func ByID(id string) *Rule {
+	for _, r := range append(All(), CryptoLint()...) {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule predicates
+// ---------------------------------------------------------------------------
+
+func predDigestWeak(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+		s, ok := argStr(ev, 0)
+		return ok && isWeakDigest(s)
+	})
+}
+
+func predPBEIterations(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "<init>", func(ev analysis.Event) bool {
+		// <init>(pw, salt, iterations[, keyLen]): the count is argument 3.
+		if len(ev.Args) < 3 {
+			return false
+		}
+		return argIntLess(ev, 2, cryptoapi.MinPBEIterations)
+	})
+}
+
+func predNotSHA1PRNG(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	// Violated when the object is created without selecting SHA1PRNG:
+	// plain constructors, or getInstance with a different algorithm.
+	viaCtor := existsEvent(res, obj, "<init>", nil)
+	viaGet := existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+		s, ok := argStr(ev, 0)
+		return !ok || normalizeAlg(s) != cryptoapi.SHA1PRNG
+	})
+	return viaCtor || viaGet
+}
+
+func predInstanceStrong(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "getInstanceStrong", nil)
+}
+
+func predNotBouncyCastle(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+		if len(ev.Args) >= 2 {
+			s, ok := argStr(ev, 1)
+			return !ok || s != cryptoapi.ProviderBouncyCastle
+		}
+		return true // no provider argument: the default (non-BC) provider
+	})
+}
+
+func predAndroidPRNG(res *analysis.Result, obj *absdom.AObj, ctx Context) bool {
+	if ctx.HasLPRNG || ctx.MinSDKVersion < 16 {
+		return false
+	}
+	return existsEvent(res, obj, "<init>", nil) ||
+		existsEvent(res, obj, "getInstance", nil)
+}
+
+func predECB(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+		s, ok := argStr(ev, 0)
+		return ok && isECBTransformation(s)
+	})
+}
+
+func predDES(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+		s, ok := argStr(ev, 0)
+		if !ok {
+			return false
+		}
+		return normalizeAlg(cryptoapi.ParseTransformation(s).Algorithm) == "DES"
+	})
+}
+
+// predCtorConstArg flags constructors whose i-th argument is compile-time
+// constant data (X ≠ ⊤byte[]).
+func predCtorConstArg(i int) ObjPred {
+	return func(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+		return existsEvent(res, obj, "<init>", func(ev analysis.Event) bool {
+			return argIsConstData(ev, i)
+		})
+	}
+}
+
+func predStaticSeed(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "setSeed", func(ev analysis.Event) bool {
+		return argIsConstData(ev, 0)
+	})
+}
+
+// predTransformPrefix matches getInstance transformations by prefix.
+func predTransformPrefix(prefix string) ObjPred {
+	return func(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+		return existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+			s, ok := argStr(ev, 0)
+			return ok && strings.HasPrefix(normalizeAlg(s), normalizeAlg(prefix))
+		})
+	}
+}
+
+func predMacHmac(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+	return existsEvent(res, obj, "getInstance", func(ev analysis.Event) bool {
+		s, ok := argStr(ev, 0)
+		return ok && strings.HasPrefix(normalizeAlg(s), "HMAC")
+	})
+}

@@ -1,0 +1,84 @@
+package rules
+
+import (
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/analysis"
+	"repro/internal/change"
+	"repro/internal/usage"
+)
+
+// Suggest implements the automatic rule construction of §6.3: from a usage
+// change (F−, F+) it builds a rule matching any usage that still has the
+// removed features and has not adopted the added ones — i.e. any usage the
+// mined fixes say must be fixed.
+//
+// For the paper's Figure 2(d) example the generated rule reads
+//
+//	Cipher : (getInstance(X) ∧ X = AES)
+//	       ∧ (getInstance(Y) ⇒ Y ≠ AES/CBC/PKCS5Padding)
+//	       ∧ (init(...) ⇒ no IvParameterSpec argument)
+//
+// expressed here as feature-path containment over the usage DAG.
+func Suggest(c change.UsageChange) *Rule {
+	removed := append([]usage.Path{}, c.Removed...)
+	added := append([]usage.Path{}, c.Added...)
+	formula := suggestFormula(c)
+	pred := func(res *analysis.Result, obj *absdom.AObj, _ Context) bool {
+		g := usage.Build(res, obj, usage.DefaultDepth)
+		have := map[string]bool{}
+		for _, p := range g.Paths() {
+			have[p.Key()] = true
+		}
+		for _, p := range removed {
+			if !have[p.Key()] {
+				return false
+			}
+		}
+		for _, p := range added {
+			if have[p.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	return &Rule{
+		ID:          "S-" + shortHash(c.Key()),
+		Description: "Auto-suggested from a mined fix: usages retaining the removed features must be updated",
+		Formula:     formula,
+		Clauses:     []Clause{{Class: c.Class, Pred: pred}},
+	}
+}
+
+func suggestFormula(c change.UsageChange) string {
+	var parts []string
+	for _, p := range c.Removed {
+		parts = append(parts, "has("+strings.Join(p, " ")+")")
+	}
+	for _, p := range c.Added {
+		parts = append(parts, "¬has("+strings.Join(p, " ")+")")
+	}
+	return c.Class + " : " + strings.Join(parts, " ∧ ")
+}
+
+// shortHash produces a stable 8-hex-digit tag (FNV-1a) for suggested rule
+// identifiers.
+func shortHash(s string) string {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	const hex = "0123456789abcdef"
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = hex[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}

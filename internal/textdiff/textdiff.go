@@ -1,0 +1,187 @@
+// Package textdiff implements a line-level diff (Myers' O(ND) algorithm)
+// used to render the concrete patches behind mined usage changes, in the
+// unified "-/+" style of the paper's Figure 2(a).
+package textdiff
+
+import "strings"
+
+// Op is one diff operation.
+type Op int
+
+// Diff operations.
+const (
+	Equal Op = iota
+	Delete
+	Insert
+)
+
+// Edit is one diffed line.
+type Edit struct {
+	Op   Op
+	Line string
+}
+
+// Lines splits s into lines without trailing newlines.
+func Lines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}
+
+// Diff computes a minimal line diff from a to b using Myers' algorithm.
+func Diff(a, b []string) []Edit {
+	n, m := len(a), len(b)
+	max := n + m
+	if max == 0 {
+		return nil
+	}
+	// trace of V arrays for backtracking.
+	var trace [][]int
+	v := make([]int, 2*max+1)
+	offset := max
+	var d int
+loop:
+	for d = 0; d <= max; d++ {
+		vc := append([]int{}, v...)
+		trace = append(trace, vc)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1]
+			} else {
+				x = v[offset+k-1] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				break loop
+			}
+		}
+	}
+	// Backtrack.
+	var edits []Edit
+	x, y := n, m
+	for depth := d; depth > 0 && (x > 0 || y > 0); depth-- {
+		vprev := trace[depth]
+		k := x - y
+		var prevK int
+		if k == -depth || (k != depth && vprev[offset+k-1] < vprev[offset+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vprev[offset+prevK]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			edits = append(edits, Edit{Equal, a[x-1]})
+			x--
+			y--
+		}
+		if depth > 0 {
+			if x == prevX {
+				edits = append(edits, Edit{Insert, b[y-1]})
+				y--
+			} else {
+				edits = append(edits, Edit{Delete, a[x-1]})
+				x--
+			}
+		}
+	}
+	for x > 0 && y > 0 {
+		edits = append(edits, Edit{Equal, a[x-1]})
+		x--
+		y--
+	}
+	for x > 0 {
+		edits = append(edits, Edit{Delete, a[x-1]})
+		x--
+	}
+	for y > 0 {
+		edits = append(edits, Edit{Insert, b[y-1]})
+		y--
+	}
+	// Reverse.
+	for i, j := 0, len(edits)-1; i < j; i, j = i+1, j-1 {
+		edits[i], edits[j] = edits[j], edits[i]
+	}
+	return edits
+}
+
+// Unified renders a diff in "-/+" patch form, keeping ctx lines of context
+// around changes (ctx < 0 keeps everything).
+func Unified(old, new string, ctx int) string {
+	edits := Diff(Lines(old), Lines(new))
+	var sb strings.Builder
+	if ctx < 0 {
+		for _, e := range edits {
+			sb.WriteString(prefix(e.Op) + e.Line + "\n")
+		}
+		return sb.String()
+	}
+	// Mark lines to keep: changes plus ctx of context.
+	keep := make([]bool, len(edits))
+	for i, e := range edits {
+		if e.Op == Equal {
+			continue
+		}
+		lo := i - ctx
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + ctx
+		if hi >= len(edits) {
+			hi = len(edits) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			keep[j] = true
+		}
+	}
+	skipping := false
+	for i, e := range edits {
+		if !keep[i] {
+			if !skipping {
+				sb.WriteString("  ...\n")
+				skipping = true
+			}
+			continue
+		}
+		skipping = false
+		sb.WriteString(prefix(e.Op) + e.Line + "\n")
+	}
+	return sb.String()
+}
+
+func prefix(op Op) string {
+	switch op {
+	case Delete:
+		return "- "
+	case Insert:
+		return "+ "
+	default:
+		return "  "
+	}
+}
+
+// Apply reconstructs the new text from a diff (used to verify diffs in
+// tests and to patch corpus snapshots).
+func Apply(edits []Edit) (old, new string) {
+	var ob, nb strings.Builder
+	for _, e := range edits {
+		switch e.Op {
+		case Equal:
+			ob.WriteString(e.Line + "\n")
+			nb.WriteString(e.Line + "\n")
+		case Delete:
+			ob.WriteString(e.Line + "\n")
+		case Insert:
+			nb.WriteString(e.Line + "\n")
+		}
+	}
+	return ob.String(), nb.String()
+}

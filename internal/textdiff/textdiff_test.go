@@ -1,0 +1,158 @@
+package textdiff
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffBasics(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"a", "x", "c"}
+	edits := Diff(a, b)
+	var dels, ins, eqs int
+	for _, e := range edits {
+		switch e.Op {
+		case Delete:
+			dels++
+		case Insert:
+			ins++
+		case Equal:
+			eqs++
+		}
+	}
+	if dels != 1 || ins != 1 || eqs != 2 {
+		t.Errorf("edits = %+v", edits)
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	if got := Diff(nil, nil); len(got) != 0 {
+		t.Errorf("empty diff = %v", got)
+	}
+	if got := Diff([]string{"a"}, nil); len(got) != 1 || got[0].Op != Delete {
+		t.Errorf("delete-all diff = %v", got)
+	}
+	if got := Diff(nil, []string{"a"}); len(got) != 1 || got[0].Op != Insert {
+		t.Errorf("insert-all diff = %v", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	for _, e := range Diff(a, a) {
+		if e.Op != Equal {
+			t.Fatalf("identical inputs produced %v", e)
+		}
+	}
+}
+
+// Property: applying the diff reconstructs both sides.
+func TestQuickDiffReconstructs(t *testing.T) {
+	gen := func(raw []byte) []string {
+		var ls []string
+		for _, b := range raw {
+			ls = append(ls, strings.Repeat(string(rune('a'+b%5)), int(b%3)+1))
+			if len(ls) >= 12 {
+				break
+			}
+		}
+		return ls
+	}
+	f := func(ra, rb []byte) bool {
+		a, b := gen(ra), gen(rb)
+		old, new := Apply(Diff(a, b))
+		wantOld := ""
+		for _, l := range a {
+			wantOld += l + "\n"
+		}
+		wantNew := ""
+		for _, l := range b {
+			wantNew += l + "\n"
+		}
+		return old == wantOld && new == wantNew
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diff is minimal-ish — number of non-equal edits is bounded by
+// len(a)+len(b) and zero iff slices equal.
+func TestQuickDiffChangeCount(t *testing.T) {
+	f := func(ra, rb []byte) bool {
+		a := []string{}
+		for _, x := range ra {
+			a = append(a, string(rune('a'+x%4)))
+		}
+		b := []string{}
+		for _, x := range rb {
+			b = append(b, string(rune('a'+x%4)))
+		}
+		changes := 0
+		for _, e := range Diff(a, b) {
+			if e.Op != Equal {
+				changes++
+			}
+		}
+		if changes > len(a)+len(b) {
+			return false
+		}
+		equal := len(a) == len(b)
+		if equal {
+			for i := range a {
+				if a[i] != b[i] {
+					equal = false
+					break
+				}
+			}
+		}
+		return !equal || changes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnified(t *testing.T) {
+	old := "class A {\n  int x = 1;\n  int y = 2;\n}"
+	new := "class A {\n  int x = 1;\n  int y = 3;\n}"
+	out := Unified(old, new, -1)
+	if !strings.Contains(out, "- ") || !strings.Contains(out, "+ ") {
+		t.Errorf("unified output:\n%s", out)
+	}
+	if !strings.Contains(out, "-   int y = 2;") && !strings.Contains(out, "- int y = 2") {
+		// Exact spacing: prefix is "- " plus the line text.
+		if !strings.Contains(out, "int y = 2") {
+			t.Errorf("missing deleted line:\n%s", out)
+		}
+	}
+}
+
+func TestUnifiedContextElision(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 30; i++ {
+		sb.WriteString("line\n")
+	}
+	old := sb.String() + "CHANGED-OLD\n" + sb.String()
+	new := sb.String() + "CHANGED-NEW\n" + sb.String()
+	out := Unified(old, new, 2)
+	if !strings.Contains(out, "...") {
+		t.Errorf("long context not elided:\n%s", out)
+	}
+	if strings.Count(out, "line") > 10 {
+		t.Errorf("too much context kept:\n%s", out)
+	}
+}
+
+func TestLines(t *testing.T) {
+	if got := Lines(""); got != nil {
+		t.Errorf("Lines(\"\") = %v", got)
+	}
+	if got := Lines("a\nb\n"); len(got) != 2 {
+		t.Errorf("trailing newline handling: %v", got)
+	}
+	if got := Lines("a"); len(got) != 1 || got[0] != "a" {
+		t.Errorf("single line: %v", got)
+	}
+}

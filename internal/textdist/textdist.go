@@ -1,0 +1,168 @@
+// Package textdist implements the distance metrics of the paper's §4.3:
+// Levenshtein distance over label units, the Levenshtein similarity ratio
+// (LSR), the path distance built from the longest common prefix, and the
+// set-matching pathsDist / usageDist metrics that drive clustering.
+//
+// Units follow the paper: characters for string payloads; integers, bytes,
+// and method names count as single units (changing any method name into
+// another is exactly one substitution).
+package textdist
+
+import (
+	"strings"
+
+	"repro/internal/match"
+	"repro/internal/usage"
+)
+
+// Levenshtein computes the classic edit distance between two rune slices.
+func Levenshtein(a, b []rune) int {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// labelPayload extracts the string payload of an argument label like
+// `arg1:"AES/CBC"`, returning the argument prefix, the payload, and whether
+// the label carries a quoted string.
+func labelPayload(l string) (prefix, payload string, isString bool) {
+	i := strings.Index(l, `:"`)
+	if i < 0 || !strings.HasSuffix(l, `"`) {
+		return "", "", false
+	}
+	return l[:i], l[i+2 : len(l)-1], true
+}
+
+// LabelLen returns the length of a label in paper units: the payload
+// character count plus one for the prefix when the label carries a string
+// constant; one unit otherwise.
+func LabelLen(l string) int {
+	if _, payload, ok := labelPayload(l); ok {
+		return len([]rune(payload)) + 1
+	}
+	return 1
+}
+
+// LabelDist returns the Levenshtein distance between two node labels in
+// paper units. Two string-constant labels with the same argument position
+// compare character-wise on their payloads; all other label pairs compare
+// as single units (0 if equal, max-substitution otherwise).
+func LabelDist(a, b string) int {
+	if a == b {
+		return 0
+	}
+	pa, sa, aok := labelPayload(a)
+	pb, sb, bok := labelPayload(b)
+	if aok && bok && pa == pb {
+		return Levenshtein([]rune(sa), []rune(sb))
+	}
+	// Substituting one whole label for another: the cost is bounded by the
+	// larger unit length (delete extra units + substitute).
+	la, lb := LabelLen(a), LabelLen(b)
+	if la > lb {
+		return la
+	}
+	return lb
+}
+
+// LSR is the Levenshtein similarity ratio:
+// LSR(l, l') = 1 − lev(l, l') / max(|l|, |l'|).
+func LSR(a, b string) float64 {
+	la, lb := LabelLen(a), LabelLen(b)
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(LabelDist(a, b))/float64(max)
+}
+
+// CommonPrefix returns the length of the longest common prefix of two
+// paths (number of equal leading elements).
+func CommonPrefix(p1, p2 usage.Path) int {
+	n := len(p1)
+	if len(p2) < n {
+		n = len(p2)
+	}
+	for i := 0; i < n; i++ {
+		if p1[i] != p2[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// PathDist is the paper's path distance: 0 for identical paths, otherwise
+//
+//	1 − (j + LSR(p1[j], p2[j])) / max(|p1|, |p2|)
+//
+// where j is the common-prefix length and the LSR term is taken over the
+// first mismatching elements (0 when one path is a strict prefix of the
+// other).
+func PathDist(p1, p2 usage.Path) float64 {
+	if p1.Equal(p2) {
+		return 0
+	}
+	j := CommonPrefix(p1, p2)
+	max := len(p1)
+	if len(p2) > max {
+		max = len(p2)
+	}
+	if max == 0 {
+		return 0
+	}
+	lsr := 0.0
+	if j < len(p1) && j < len(p2) {
+		lsr = LSR(p1[j], p2[j])
+	}
+	return 1 - (float64(j)+lsr)/float64(max)
+}
+
+// PathsDist matches the paths of two feature sets (minimum-cost assignment)
+// and sums the pairwise path distances; unmatched paths cost 1 each
+// (paper §4.3's "smallest distance obtained by first matching the paths in
+// both sets").
+func PathsDist(f1, f2 []usage.Path) float64 {
+	return match.MinCostSum(len(f1), len(f2), func(i, j int) float64 {
+		return PathDist(f1[i], f2[j])
+	}, 1)
+}
+
+// UsageDist is the distance between two usage changes: the average of the
+// removed-set and added-set path distances.
+func UsageDist(rem1, add1, rem2, add2 []usage.Path) float64 {
+	return (PathsDist(rem1, rem2) + PathsDist(add1, add2)) / 2
+}

@@ -1,0 +1,7 @@
+package usage
+
+import "repro/internal/match"
+
+func defaultAssign(cost [][]float64) []int {
+	return match.Assign(cost)
+}

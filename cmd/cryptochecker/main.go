@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/androidctx"
+	"repro/internal/resilience"
 	"repro/internal/ruledsl"
 	"repro/internal/rules"
 )
@@ -34,6 +36,9 @@ func main() {
 		list     = flag.Bool("list", false, "list available rules and exit")
 		quiet    = flag.Bool("q", false, "print only rule IDs")
 		verbose  = flag.Bool("v", false, "explain each violation with the matched abstract usages")
+		budget   = flag.Int64("budget", 0, "max abstract-interpretation steps (0 = unlimited)")
+		maxErr   = flag.Int("max-errors", 0, "abort after this many unreadable inputs (0 = unlimited)")
+		failFast = flag.Bool("fail-fast", false, "abort at the first unreadable input")
 	)
 	flag.Parse()
 
@@ -75,14 +80,26 @@ func main() {
 		ruleSet = append(ruleSet, extra...)
 	}
 
+	// Unreadable inputs are skipped and recorded rather than aborting the
+	// whole check; -fail-fast restores the old abort-on-first-error mode.
+	ledger := resilience.NewLedger()
 	sources := map[string]string{}
 	for _, arg := range flag.Args() {
 		if err := collect(arg, sources); err != nil {
-			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
-			os.Exit(1)
+			if *failFast {
+				fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+				os.Exit(1)
+			}
+			ledger.Record(resilience.NewEntry(arg, resilience.PhaseLoad, err))
+			if *maxErr > 0 && ledger.Len() >= *maxErr {
+				fmt.Fprint(os.Stderr, ledger.Report())
+				fmt.Fprintln(os.Stderr, "cryptochecker: too many unreadable inputs (-max-errors)")
+				os.Exit(1)
+			}
 		}
 	}
 	if len(sources) == 0 {
+		fmt.Fprint(os.Stderr, ledger.Report())
 		fmt.Fprintln(os.Stderr, "cryptochecker: no .java files found")
 		os.Exit(2)
 	}
@@ -95,7 +112,26 @@ func main() {
 				ctx.MinSDKVersion, ctx.HasLPRNG)
 		}
 	}
-	res := analysis.Analyze(analysis.ParseProgram(sources), analysis.Options{})
+	// The analysis runs under panic isolation and an optional step budget:
+	// a pathological input degrades to a partial (or failed) check instead
+	// of a crash.
+	var res *analysis.Result
+	err := resilience.Guard("analyze", func() error {
+		var aerr error
+		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgram(sources),
+			analysis.Options{Budget: resilience.NewBudget(*budget, 0)})
+		return aerr
+	})
+	if err != nil {
+		if errors.Is(err, resilience.ErrBudgetExhausted) && res != nil {
+			fmt.Fprintln(os.Stderr, "cryptochecker: analysis budget exhausted; results may be partial")
+		} else {
+			ledger.Record(resilience.NewEntry("analyze", resilience.PhaseAnalyze, err))
+			fmt.Fprint(os.Stderr, ledger.Report())
+			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	violations := rules.Check(res, ctx, ruleSet)
 
 	for _, v := range violations {
@@ -112,6 +148,9 @@ func main() {
 		for _, o := range v.Objs {
 			fmt.Printf("    at %s (line %d)\n", o.SiteLabel(), o.Site.Line)
 		}
+	}
+	if ledger.Len() > 0 {
+		fmt.Fprint(os.Stderr, ledger.Report())
 	}
 	if len(violations) > 0 {
 		if !*quiet {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
 	"repro/internal/mining"
+	"repro/internal/resilience"
 	"repro/internal/textdiff"
 )
 
@@ -33,10 +34,18 @@ func main() {
 		depth     = flag.Int("depth", 5, "usage-DAG expansion depth")
 		showDiff  = flag.Bool("patch", false, "also print the textual patch (single-change mode)")
 		dot       = flag.Bool("dot", false, "emit the usage DAGs of both versions in Graphviz dot format (single-change mode)")
+		budget    = flag.Int64("budget", 0, "max abstract-interpretation steps per change (0 = unlimited)")
+		maxErrors = flag.Int("max-errors", 0, "abort mining after this many skipped changes (0 = unlimited)")
+		failFast  = flag.Bool("fail-fast", false, "abort mining at the first skipped change")
 	)
 	flag.Parse()
 
-	opts := core.Options{Depth: *depth}
+	opts := core.Options{
+		Depth:       *depth,
+		BudgetSteps: *budget,
+		MaxErrors:   *maxErrors,
+		FailFast:    *failFast,
+	}
 	classes := cryptoapi.TargetClasses
 	if *class != "" {
 		if !cryptoapi.IsTarget(*class) {
@@ -78,10 +87,14 @@ func runSingle(oldPath, newPath string, classes []string, opts core.Options, sho
 		}
 	}
 	d := core.New(opts)
-	a := d.AnalyzeChange(mining.CodeChange{
+	a, err := d.AnalyzeChange(mining.CodeChange{
 		Old: oldSrc, New: newSrc,
 		Meta: change.Meta{File: newPath},
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+		os.Exit(1)
+	}
 	any := false
 	for _, cls := range classes {
 		for _, c := range d.ExtractClass(a, cls) {
@@ -105,7 +118,15 @@ func runSingle(oldPath, newPath string, classes []string, opts core.Options, sho
 }
 
 func runCorpus(dir string, classes []string, opts core.Options) {
-	c, err := corpus.Load(dir)
+	// One ledger spans the whole run: corpus loading and mining both record
+	// the work they skipped into it.
+	ledger := resilience.NewLedger()
+	opts.Ledger = ledger
+	loadOpts := []corpus.LoadOption{corpus.WithLedger(ledger)}
+	if opts.FailFast {
+		loadOpts = append(loadOpts, corpus.Strict())
+	}
+	c, err := corpus.Load(dir, loadOpts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
 		os.Exit(1)
@@ -135,6 +156,13 @@ func runCorpus(dir string, classes []string, opts core.Options) {
 			}), "  "))
 		}
 		fmt.Println()
+	}
+	if ledger.Len() > 0 {
+		fmt.Fprint(os.Stderr, ledger.Report())
+		if opts.FailFast || (opts.MaxErrors > 0 && ledger.Len() >= opts.MaxErrors) {
+			fmt.Fprintln(os.Stderr, "diffcode: mining aborted early (fail-fast/max-errors); results are partial")
+			os.Exit(1)
+		}
 	}
 }
 

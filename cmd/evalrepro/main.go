@@ -62,6 +62,9 @@ func main() {
 		extra    = flag.Int("extra", 29, "held-out projects (paper: 58)")
 		depth    = flag.Int("depth", 5, "usage-DAG expansion depth")
 		verbose  = flag.Bool("v", false, "print timing information")
+		budget   = flag.Int64("budget", 0, "max abstract-interpretation steps per mined change (0 = unlimited)")
+		maxErr   = flag.Int("max-errors", 0, "abort analysis after this many skipped changes (0 = unlimited)")
+		failFast = flag.Bool("fail-fast", false, "abort analysis at the first skipped change")
 	)
 	flag.StringVar(&outDir, "out", "", "also write each figure to <out>/figureN.txt")
 	flag.Parse()
@@ -73,7 +76,12 @@ func main() {
 	}
 
 	cfg := corpus.Config{Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra}
-	opts := core.Options{Depth: *depth}
+	opts := core.Options{
+		Depth:       *depth,
+		BudgetSteps: *budget,
+		MaxErrors:   *maxErr,
+		FailFast:    *failFast,
+	}
 
 	start := time.Now()
 	c := corpus.Generate(cfg)
@@ -93,6 +101,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "analysis: %d code changes (%.2fs)\n",
 			len(e.Analyzed), time.Since(start).Seconds())
 	}
+	// Degraded-mode bookkeeping: whatever figures were requested, finish by
+	// reporting any changes the resilience layer skipped (empty on an
+	// intact corpus, so default output is unchanged).
+	defer printFailures(e, *verbose)
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
@@ -126,6 +138,19 @@ func main() {
 	if *fig == "all" {
 		section("headline", func(w io.Writer) { printHeadline(w, e) })
 	}
+}
+
+// printFailures emits the failure summary of the run when any mined change
+// was skipped by the resilience layer.
+func printFailures(e *core.Evaluation, verbose bool) {
+	l := e.DiffCode.Ledger()
+	if l.Len() == 0 {
+		if verbose {
+			fmt.Fprintln(os.Stderr, "no analysis failures (ledger empty)")
+		}
+		return
+	}
+	section("failures", func(w io.Writer) { fmt.Fprint(w, l.Report()) })
 }
 
 func printElicited(w io.Writer, e *core.Evaluation) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
 	"repro/internal/mining"
+	"repro/internal/resilience"
 	"repro/internal/ruledsl"
 	"repro/internal/rules"
 	"repro/internal/textdiff"
@@ -72,6 +73,11 @@ type (
 	// ElicitedRule is one automatically elicited rule: a cluster of mined
 	// fixes plus the rule suggested from its representative.
 	ElicitedRule = core.ElicitedRule
+	// FailureLedger records every change or project the pipeline skipped
+	// instead of dying on (degraded-mode bookkeeping).
+	FailureLedger = resilience.Ledger
+	// FailureEntry is one recorded skip: task, phase, category, error.
+	FailureEntry = resilience.Entry
 )
 
 // Change classification outcomes (paper §6.2).
@@ -158,7 +164,10 @@ func UnifiedDiff(old, new string, ctx int) string {
 // interpreted, their usage DAGs paired, and each pair diffed into (F−, F+).
 func DiffSources(oldSrc, newSrc, class string, opts Options) []UsageChange {
 	d := core.New(opts)
-	a := d.AnalyzeChange(mining.CodeChange{Old: oldSrc, New: newSrc})
+	a, err := d.AnalyzeChange(mining.CodeChange{Old: oldSrc, New: newSrc})
+	if err != nil {
+		return nil
+	}
 	return d.ExtractClass(a, class)
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cryptoapi"
 	"repro/internal/javaast"
 	"repro/internal/javaparser"
+	"repro/internal/resilience"
 )
 
 // Options configures the analyzer.
@@ -28,6 +29,11 @@ type Options struct {
 	MaxStates int
 	// MaxInline bounds the call-inlining depth. Default 4.
 	MaxInline int
+	// Budget, when non-nil, bounds the abstract execution: one step is
+	// consumed per statement and expression visited, and exhaustion abandons
+	// the analysis with resilience.ErrBudgetExhausted. Budgets are single-use
+	// and single-goroutine; callers create one per analyzed change.
+	Budget *resilience.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -115,15 +121,42 @@ func (r *Result) ObjsOfType(typ string) []*absdom.AObj {
 }
 
 // Analyze runs the abstract interpretation over prog and returns AUses.
+// When Options.Budget trips mid-run, the partial result is returned; use
+// AnalyzeBudgeted to observe the exhaustion.
 func Analyze(prog *Program, opts Options) *Result {
+	res, _ := AnalyzeBudgeted(prog, opts)
+	return res
+}
+
+// AnalyzeBudgeted is Analyze with budget enforcement surfaced: when
+// Options.Budget is exhausted the abstract execution is abandoned and the
+// partial result is returned together with an error wrapping
+// resilience.ErrBudgetExhausted. Without a budget (or within it) the error
+// is nil and the result is identical to Analyze's.
+func AnalyzeBudgeted(prog *Program, opts Options) (res *Result, err error) {
 	an := newAnalyzer(prog, opts.withDefaults())
+	defer func() {
+		if r := recover(); r != nil {
+			stop, ok := r.(budgetStop)
+			if !ok {
+				panic(r)
+			}
+			res = an.result()
+			err = stop.err
+		}
+	}()
 	an.run()
-	return an.result()
+	return an.result(), nil
 }
 
 // AnalyzeSource is a convenience wrapper for single-file programs.
 func AnalyzeSource(src string, opts Options) *Result {
 	return Analyze(ParseProgram(map[string]string{"Main.java": src}), opts)
+}
+
+// AnalyzeSourceBudgeted is AnalyzeBudgeted for single-file programs.
+func AnalyzeSourceBudgeted(src string, opts Options) (*Result, error) {
+	return AnalyzeBudgeted(ParseProgram(map[string]string{"Main.java": src}), opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +197,23 @@ type analyzer struct {
 	constCache  map[*javaast.FieldDecl]absdom.Value
 	constBusy   map[*javaast.FieldDecl]bool
 	curFile     int
+	budget      *resilience.Budget
+}
+
+// budgetStop is the panic payload that unwinds an over-budget execution
+// back to AnalyzeBudgeted (the same recovery idiom the parser uses).
+type budgetStop struct{ err error }
+
+// step consumes one budget unit; it is called from the interpreter's hot
+// loop (every statement and expression). Exhaustion aborts the whole
+// analysis by unwinding to AnalyzeBudgeted.
+func (an *analyzer) step() {
+	if an.budget == nil {
+		return
+	}
+	if err := an.budget.Step(); err != nil {
+		panic(budgetStop{err: err})
+	}
 }
 
 func newAnalyzer(prog *Program, opts Options) *analyzer {
@@ -176,6 +226,7 @@ func newAnalyzer(prog *Program, opts Options) *analyzer {
 		eventKeys:  map[*absdom.AObj]map[string]bool{},
 		calledName: map[string]bool{},
 		executed:   map[*javaast.MethodDecl]bool{},
+		budget:     opts.Budget,
 	}
 	for fi, f := range prog.Files {
 		for _, t := range f.Unit.Types {

@@ -12,6 +12,7 @@ import (
 // eval computes the abstract value of an expression in state st, recording
 // API usage events and allocating abstract objects as side effects.
 func (an *analyzer) eval(e javaast.Expr, st *absdom.State, fr *frame, depth int) absdom.Value {
+	an.step()
 	switch x := e.(type) {
 	case nil:
 		return absdom.Value{}

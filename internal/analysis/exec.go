@@ -41,6 +41,7 @@ func (f *frame) cap(states []*absdom.State) []*absdom.State {
 }
 
 func (f *frame) execStmt(s javaast.Stmt, states []*absdom.State, depth int) []*absdom.State {
+	f.an.step()
 	switch x := s.(type) {
 	case *javaast.Block:
 		return f.execStmts(x.Stmts, states, depth)

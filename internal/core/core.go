@@ -5,8 +5,11 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/change"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
 	"repro/internal/mining"
+	"repro/internal/resilience"
 	"repro/internal/rules"
 	"repro/internal/usage"
 )
@@ -28,6 +32,21 @@ type Options struct {
 	MinCommits int
 	// Workers caps the parallel analysis fan-out (default: NumCPU).
 	Workers int
+	// BudgetSteps caps the abstract-interpretation steps spent on one mined
+	// change (both versions share the budget); 0 means unlimited. Changes
+	// that exhaust it are skipped and recorded in the ledger.
+	BudgetSteps int64
+	// BudgetWall caps the wall-clock time spent on one mined change;
+	// 0 means unlimited.
+	BudgetWall time.Duration
+	// FailFast stops a batch analysis after the first recorded failure.
+	FailFast bool
+	// MaxErrors aborts a batch once this many failures have been recorded
+	// (0 means unlimited).
+	MaxErrors int
+	// Ledger receives the skip-and-record entries of this pipeline; nil
+	// means New creates a private one (reachable via DiffCode.Ledger).
+	Ledger *resilience.Ledger
 }
 
 func (o Options) withDefaults() Options {
@@ -42,16 +61,26 @@ func (o Options) withDefaults() Options {
 
 // DiffCode is the end-to-end system of §5.
 type DiffCode struct {
-	opts Options
+	opts   Options
+	ledger *resilience.Ledger
 }
 
 // New returns a DiffCode instance.
 func New(opts Options) *DiffCode {
-	return &DiffCode{opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	l := opts.Ledger
+	if l == nil {
+		l = resilience.NewLedger()
+	}
+	return &DiffCode{opts: opts, ledger: l}
 }
 
 // Options returns the effective configuration.
 func (d *DiffCode) Options() Options { return d.opts }
+
+// Ledger returns the failure ledger recording every change or project the
+// pipeline skipped instead of dying on.
+func (d *DiffCode) Ledger() *resilience.Ledger { return d.ledger }
 
 // AnalyzedChange is a mined code change with both versions analyzed. The
 // raw sources are retained so the concrete patch behind a usage change can
@@ -74,38 +103,116 @@ func (a *AnalyzedChange) UsesClass(class string) bool {
 	return a.UsesOld[class] || a.UsesNew[class]
 }
 
-// AnalyzeChange parses and analyzes one code change.
-func (d *DiffCode) AnalyzeChange(cc mining.CodeChange) *AnalyzedChange {
+// taskName renders the ledger/guard identity of a mined change.
+func taskName(cc mining.CodeChange) string {
+	m := cc.Meta
+	switch {
+	case m.Project != "" && m.Commit != "":
+		return fmt.Sprintf("change %s@%s:%s", m.Project, m.Commit, m.File)
+	case m.File != "":
+		return "change " + m.File
+	default:
+		return "change"
+	}
+}
+
+// AnalyzeChange parses and analyzes one code change. A panic anywhere in
+// parsing or analysis, or an exhausted per-change budget, is returned as an
+// error instead of propagating.
+func (d *DiffCode) AnalyzeChange(cc mining.CodeChange) (*AnalyzedChange, error) {
+	a, _, err := d.analyzeChange(cc)
+	return a, err
+}
+
+// analyzeChange is AnalyzeChange plus the pipeline phase a failure belongs
+// to (parse vs analyze) for ledger bookkeeping.
+func (d *DiffCode) analyzeChange(cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
+	task := taskName(cc)
+	var progOld, progNew *analysis.Program
+	err := resilience.Guard(task+" [parse]", func() error {
+		progOld = analysis.ParseProgram(map[string]string{"Main.java": cc.Old})
+		progNew = analysis.ParseProgram(map[string]string{"Main.java": cc.New})
+		return nil
+	})
+	if err != nil {
+		return nil, resilience.PhaseParse, err
+	}
 	a := &AnalyzedChange{
 		Meta:    cc.Meta,
 		Kind:    cc.Kind,
 		OldSrc:  cc.Old,
 		NewSrc:  cc.New,
-		Old:     analysis.AnalyzeSource(cc.Old, d.opts.Analysis),
-		New:     analysis.AnalyzeSource(cc.New, d.opts.Analysis),
 		UsesOld: map[string]bool{},
 		UsesNew: map[string]bool{},
+	}
+	err = resilience.Guard(task, func() error {
+		// Both versions share one budget: the unit of skipping is the change.
+		aopts := d.opts.Analysis
+		aopts.Budget = resilience.NewBudget(d.opts.BudgetSteps, d.opts.BudgetWall)
+		old, err := analysis.AnalyzeBudgeted(progOld, aopts)
+		if err != nil {
+			return err
+		}
+		nw, err := analysis.AnalyzeBudgeted(progNew, aopts)
+		if err != nil {
+			return err
+		}
+		a.Old, a.New = old, nw
+		return nil
+	})
+	if err != nil {
+		return nil, resilience.PhaseAnalyze, err
 	}
 	for _, c := range cryptoapi.TargetClasses {
 		a.UsesOld[c] = mining.UsesClass(cc.Old, c)
 		a.UsesNew[c] = mining.UsesClass(cc.New, c)
 	}
-	return a
+	return a, "", nil
+}
+
+// record files a failure for a mined change in the ledger.
+func (d *DiffCode) record(cc mining.CodeChange, phase resilience.Phase, err error) {
+	e := resilience.NewEntry(taskName(cc), phase, err)
+	e.Meta = map[string]string{
+		"project": cc.Meta.Project,
+		"commit":  cc.Meta.Commit,
+		"file":    cc.Meta.File,
+	}
+	d.ledger.Record(e)
 }
 
 // AnalyzeAll analyzes a batch of code changes in parallel, preserving
-// input order.
+// input order. Failing changes are skipped and recorded in the ledger,
+// leaving a nil slot at their index; Options.FailFast and
+// Options.MaxErrors abort the remainder of the batch early.
 func (d *DiffCode) AnalyzeAll(ccs []mining.CodeChange) []*AnalyzedChange {
 	out := make([]*AnalyzedChange, len(ccs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, d.opts.Workers)
+	var failures atomic.Int64
+	var stopped atomic.Bool
 	for i := range ccs {
+		if stopped.Load() {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = d.AnalyzeChange(ccs[i])
+			if stopped.Load() {
+				return
+			}
+			a, phase, err := d.analyzeChange(ccs[i])
+			if err != nil {
+				d.record(ccs[i], phase, err)
+				n := failures.Add(1)
+				if d.opts.FailFast || (d.opts.MaxErrors > 0 && n >= int64(d.opts.MaxErrors)) {
+					stopped.Store(true)
+				}
+				return
+			}
+			out[i] = a
 		}(i)
 	}
 	wg.Wait()
@@ -119,10 +226,19 @@ func (d *DiffCode) ExtractClass(a *AnalyzedChange, class string) []change.UsageC
 }
 
 // MineCorpus runs the full mining front-end over a corpus: collect code
-// changes, analyze both versions of each, in parallel.
+// changes, analyze both versions of each, in parallel. Changes the
+// resilience layer skipped are dropped from the result (they are recorded
+// in the ledger), so downstream stages see only analyzed changes.
 func (d *DiffCode) MineCorpus(c *corpus.Corpus) []*AnalyzedChange {
 	ccs := mining.Collect(c, mining.Options{MinCommits: d.opts.MinCommits})
-	return d.AnalyzeAll(ccs)
+	analyzed := d.AnalyzeAll(ccs)
+	out := make([]*AnalyzedChange, 0, len(analyzed))
+	for _, a := range analyzed {
+		if a != nil {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // ClassPipelineResult is the per-class outcome of the filtering pipeline.
@@ -133,14 +249,24 @@ type ClassPipelineResult struct {
 }
 
 // RunClass extracts, filters, and returns the semantic usage changes of one
-// target class across analyzed changes.
+// target class across analyzed changes. Nil slots (changes the resilience
+// layer skipped) are ignored; a panic while extracting one change skips
+// that change and records it, rather than aborting the class.
 func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipelineResult {
 	var all []change.UsageChange
 	for _, a := range analyzed {
-		if !a.UsesClass(class) {
+		if a == nil || !a.UsesClass(class) {
 			continue
 		}
-		all = append(all, d.ExtractClass(a, class)...)
+		a := a
+		task := fmt.Sprintf("extract %s %s@%s:%s", class, a.Meta.Project, a.Meta.Commit, a.Meta.File)
+		err := resilience.Guard(task, func() error {
+			all = append(all, d.ExtractClass(a, class)...)
+			return nil
+		})
+		if err != nil {
+			d.ledger.Record(resilience.NewEntry(task, resilience.PhaseExtract, err))
+		}
 	}
 	kept, stats := change.Filter(all)
 	return ClassPipelineResult{Class: class, Stats: stats, Survivors: kept}

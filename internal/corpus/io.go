@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/resilience"
 )
 
 // Save writes a corpus to a directory tree:
@@ -55,8 +57,36 @@ func Save(c *Corpus, dir string) error {
 	return nil
 }
 
-// Load reads a corpus previously written by Save.
-func Load(dir string) (*Corpus, error) {
+// LoadOption configures Load.
+type LoadOption func(*loadConfig)
+
+type loadConfig struct {
+	strict bool
+	ledger *resilience.Ledger
+}
+
+// WithLedger records the projects Load skipped (malformed directories,
+// unreadable metadata, panics during loading) into l.
+func WithLedger(l *resilience.Ledger) LoadOption {
+	return func(c *loadConfig) { c.ledger = l }
+}
+
+// Strict makes Load return the first per-project error instead of skipping
+// the project.
+func Strict() LoadOption {
+	return func(c *loadConfig) { c.strict = true }
+}
+
+// Load reads a corpus previously written by Save. Each project directory is
+// loaded in isolation: a malformed project is skipped and recorded in the
+// WithLedger ledger (if any) rather than failing the whole corpus, unless
+// the Strict option is set. Only a top-level read failure of dir itself is
+// a corpus-wide error.
+func Load(dir string, opts ...LoadOption) (*Corpus, error) {
+	var cfg loadConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -70,13 +100,30 @@ func Load(dir string) (*Corpus, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		p, err := loadProject(filepath.Join(dir, name), name)
+		name := name
+		task := "project " + name
+		var p *Project
+		err := resilience.Guard(task, func() error {
+			var err error
+			p, err = loadProject(filepath.Join(dir, name), name)
+			return err
+		})
 		if err != nil {
-			return nil, err
+			if cfg.strict {
+				return nil, err
+			}
+			cfg.ledger.Record(resilience.NewEntry(task, resilience.PhaseLoad, err))
+			continue
 		}
 		c.Projects = append(c.Projects, p)
 	}
 	return c, nil
+}
+
+// LoadStrict is Load with the Strict option: the pre-resilience behavior
+// where the first malformed project aborts the load.
+func LoadStrict(dir string) (*Corpus, error) {
+	return Load(dir, Strict())
 }
 
 func loadProject(pdir, name string) (*Project, error) {

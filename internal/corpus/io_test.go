@@ -1,8 +1,11 @@
 package corpus
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/resilience"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -55,6 +58,68 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadMissingDir(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Error("expected error for missing directory")
+	}
+}
+
+// corruptOneProject saves a small corpus and deletes one project's
+// info.txt, returning the corpus, the directory, and the corrupt name.
+func corruptOneProject(t *testing.T) (*Corpus, string, string) {
+	t.Helper()
+	c := Generate(Config{Seed: 3, Scale: 0.05, Projects: 5, ExtraProjects: 1})
+	dir := t.TempDir()
+	if err := Save(c, dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	bad := c.Projects[2].Name
+	if err := os.Remove(filepath.Join(dir, bad, "info.txt")); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	return c, dir, bad
+}
+
+func TestLoadSkipsMalformedProject(t *testing.T) {
+	c, dir, bad := corruptOneProject(t)
+	ledger := resilience.NewLedger()
+	got, err := Load(dir, WithLedger(ledger))
+	if err != nil {
+		t.Fatalf("lenient load failed: %v", err)
+	}
+	if len(got.Projects) != len(c.Projects)-1 {
+		t.Errorf("loaded %d projects, want %d (one skipped)", len(got.Projects), len(c.Projects)-1)
+	}
+	for _, p := range got.Projects {
+		if p.Name == bad {
+			t.Errorf("malformed project %s was loaded", bad)
+		}
+	}
+	entries := ledger.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("ledger has %d entries, want 1:\n%s", len(entries), ledger.Report())
+	}
+	e := entries[0]
+	if e.Task != "project "+bad || e.Phase != resilience.PhaseLoad || e.Category != resilience.CatIO {
+		t.Errorf("entry = %+v, want task %q phase load category io", e, "project "+bad)
+	}
+}
+
+func TestLoadWithoutLedgerStillSkips(t *testing.T) {
+	c, dir, _ := corruptOneProject(t)
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("lenient load failed: %v", err)
+	}
+	if len(got.Projects) != len(c.Projects)-1 {
+		t.Errorf("loaded %d projects, want %d", len(got.Projects), len(c.Projects)-1)
+	}
+}
+
+func TestLoadStrictFailsOnMalformedProject(t *testing.T) {
+	_, dir, _ := corruptOneProject(t)
+	if _, err := LoadStrict(dir); err == nil {
+		t.Error("LoadStrict succeeded on a corpus with a malformed project")
+	}
+	if _, err := Load(dir, Strict()); err == nil {
+		t.Error("Load(Strict()) succeeded on a corpus with a malformed project")
 	}
 }
 

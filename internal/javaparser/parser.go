@@ -169,8 +169,10 @@ func (p *parser) snapshot(n int) []javatok.Token {
 // Compilation unit
 // ---------------------------------------------------------------------------
 
-func (p *parser) parseCompilationUnit() *javaast.CompilationUnit {
-	cu := &javaast.CompilationUnit{P: p.cur().Pos}
+// The return value is named so the recovery path below yields the partial
+// unit instead of nil (Parse promises a non-nil unit for any input).
+func (p *parser) parseCompilationUnit() (cu *javaast.CompilationUnit) {
+	cu = &javaast.CompilationUnit{P: p.cur().Pos}
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := r.(parseError); ok {

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBudgetExhausted is returned (wrapped) when an analysis exceeds its
+// per-change step or wall-clock budget.
+var ErrBudgetExhausted = errors.New("analysis budget exhausted")
+
+// wallCheckMask amortizes the time.Now syscall: the wall clock is consulted
+// once every wallCheckMask+1 steps.
+const wallCheckMask = 0x3ff
+
+// Budget is a cooperative per-task execution budget. The abstract
+// interpreter calls Step on every statement and expression it touches; once
+// the step or wall-clock limit is exceeded every subsequent Step returns a
+// sticky error wrapping ErrBudgetExhausted.
+//
+// A Budget belongs to a single task (one mined code change) and is not safe
+// for concurrent use; each worker creates its own. A nil *Budget is valid
+// and never exhausts, so the unbudgeted happy path costs one nil check.
+type Budget struct {
+	maxSteps int64
+	used     int64
+	deadline time.Time
+	err      error
+}
+
+// NewBudget returns a budget allowing maxSteps interpreter steps and wall
+// of elapsed time. A zero (or negative) limit means unlimited; if both are
+// unlimited, NewBudget returns nil — the no-op budget.
+func NewBudget(maxSteps int64, wall time.Duration) *Budget {
+	if maxSteps <= 0 && wall <= 0 {
+		return nil
+	}
+	b := &Budget{maxSteps: maxSteps}
+	if wall > 0 {
+		b.deadline = time.Now().Add(wall)
+	}
+	return b
+}
+
+// Step consumes one unit of budget, returning a sticky non-nil error once
+// the budget is exhausted.
+func (b *Budget) Step() error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.used++
+	if b.maxSteps > 0 && b.used > b.maxSteps {
+		b.err = fmt.Errorf("%w after %d steps", ErrBudgetExhausted, b.maxSteps)
+		return b.err
+	}
+	if !b.deadline.IsZero() && b.used&wallCheckMask == 0 && time.Now().After(b.deadline) {
+		b.err = fmt.Errorf("%w: wall clock limit hit after %d steps", ErrBudgetExhausted, b.used)
+		return b.err
+	}
+	return nil
+}
+
+// Used reports the steps consumed so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
+
+// Exhausted reports whether the budget has tripped.
+func (b *Budget) Exhausted() bool {
+	return b != nil && b.err != nil
+}
+
+// Err returns the sticky exhaustion error, or nil.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	return b.err
+}

@@ -1,0 +1,34 @@
+package resilience
+
+import "sync/atomic"
+
+// injector holds the installed fault-injection hook. The double pointer
+// lets ClearFaultInjector store a typed nil through atomic.Value (which
+// rejects inconsistent concrete types and plain nil).
+var injector atomic.Value // of *func(task string) error
+
+// SetFaultInjector installs fn as the process-wide fault-injection hook.
+// It is test-only: chaos suites install a hook that panics or returns
+// budget/I/O errors for selected tasks, then assert the pipeline completes
+// with exactly those failures recorded. Production code never calls this.
+func SetFaultInjector(fn func(task string) error) {
+	injector.Store(&fn)
+}
+
+// ClearFaultInjector removes the hook.
+func ClearFaultInjector() {
+	var fn func(task string) error
+	injector.Store(&fn)
+}
+
+// InjectFault consults the installed hook at a named fault point (Guard
+// calls it with the task name before running the guarded work). Without an
+// installed hook it is a single atomic load returning nil. A hook that
+// panics simulates a panic inside the task itself; Guard recovers it.
+func InjectFault(task string) error {
+	p, _ := injector.Load().(*func(task string) error)
+	if p == nil || *p == nil {
+		return nil
+	}
+	return (*p)(task)
+}

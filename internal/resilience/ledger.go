@@ -1,0 +1,138 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Entry is one recorded failure: a task the pipeline skipped instead of
+// dying on.
+type Entry struct {
+	// Task identifies the skipped unit of work (change or project).
+	Task string
+	// Phase is the pipeline stage that failed.
+	Phase Phase
+	// Category classifies the failure.
+	Category Category
+	// Err is the rendered error message.
+	Err string
+	// Stack holds the trimmed stack snippet for panic failures.
+	Stack string
+	// Meta carries optional provenance (project, commit, file).
+	Meta map[string]string
+}
+
+// Categorize maps an error to its ledger category: recovered panics are
+// CatPanic, budget exhaustion is CatBudget, and everything else (I/O,
+// malformed inputs) is CatIO.
+func Categorize(err error) Category {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return CatPanic
+	case errors.Is(err, ErrBudgetExhausted):
+		return CatBudget
+	default:
+		return CatIO
+	}
+}
+
+// NewEntry builds an Entry from an error, filling Category (via Categorize)
+// and, for panics, the stack snippet.
+func NewEntry(task string, phase Phase, err error) Entry {
+	e := Entry{Task: task, Phase: phase, Category: Categorize(err), Err: err.Error()}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		e.Stack = pe.Stack
+	}
+	return e
+}
+
+// Ledger is a concurrency-safe record of skipped work. A nil *Ledger is
+// valid: Record on it drops the entry, queries report emptiness.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Record appends an entry.
+func (l *Ledger) Record(e Entry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+}
+
+// Len reports the number of recorded failures.
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of the recorded failures in record order.
+func (l *Ledger) Entries() []Entry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// ByCategory tallies entries per category.
+func (l *Ledger) ByCategory() map[Category]int {
+	out := map[Category]int{}
+	for _, e := range l.Entries() {
+		out[e.Category]++
+	}
+	return out
+}
+
+// ByPhase tallies entries per phase.
+func (l *Ledger) ByPhase() map[Phase]int {
+	out := map[Phase]int{}
+	for _, e := range l.Entries() {
+		out[e.Phase]++
+	}
+	return out
+}
+
+// Report renders the degraded-mode failure report: a summary line followed
+// by one line per skipped task. An empty ledger renders the empty string.
+func (l *Ledger) Report() string {
+	entries := l.Entries()
+	if len(entries) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	cats := l.ByCategory()
+	keys := make([]string, 0, len(cats))
+	for c := range cats {
+		keys = append(keys, string(c))
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s: %d", k, cats[Category(k)]))
+	}
+	fmt.Fprintf(&sb, "failure summary: %d task(s) skipped (%s)\n",
+		len(entries), strings.Join(parts, ", "))
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "  [%s/%s] %s: %s\n", e.Phase, e.Category, e.Task, e.Err)
+	}
+	return sb.String()
+}

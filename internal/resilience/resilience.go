@@ -1,0 +1,99 @@
+// Package resilience is the fault-tolerance layer of the mining pipeline.
+// The paper's DiffCode mines tens of thousands of commits of arbitrary,
+// often non-compilable Java; at that scale individual pathological snippets
+// are a certainty, and the pipeline must degrade by skipping and recording
+// rather than dying. This package provides the three primitives the rest of
+// the pipeline threads through:
+//
+//   - Guard: per-task panic isolation. A recovered panic becomes a
+//     categorized *PanicError carrying a trimmed stack snippet.
+//   - Budget: a cooperative step/wall-clock budget checked inside the
+//     abstract interpreter's hot loop, so a fork-heavy change is abandoned
+//     with ErrBudgetExhausted instead of stalling a worker forever.
+//   - Ledger: a concurrency-safe record of every skipped change or project,
+//     rendered as a degraded-mode failure report.
+//
+// InjectFault is a test-only hook used by the chaos test suites to inject
+// panics and stalls into live mining runs.
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Phase names the pipeline stage in which a failure occurred.
+type Phase string
+
+// Pipeline phases recorded in ledger entries.
+const (
+	PhaseParse   Phase = "parse"
+	PhaseAnalyze Phase = "analyze"
+	PhaseExtract Phase = "extract"
+	PhaseLoad    Phase = "load"
+)
+
+// Category classifies a recorded failure.
+type Category string
+
+// Failure categories recorded in ledger entries.
+const (
+	CatPanic  Category = "panic"
+	CatBudget Category = "budget"
+	CatIO     Category = "io"
+)
+
+// maxStackBytes bounds the stack snippet kept in a PanicError so ledgers
+// over large runs stay small.
+const maxStackBytes = 2048
+
+// PanicError is a panic recovered by Guard, converted into an error.
+type PanicError struct {
+	// Task identifies the guarded unit of work that panicked.
+	Task string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is a trimmed snippet of the panicking goroutine's stack.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Task, e.Value)
+}
+
+// Guard runs fn with panic isolation: a panic inside fn (or inside an
+// injected fault) is recovered and returned as a *PanicError naming the
+// task. All other errors pass through unchanged.
+func Guard(task string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Task: task, Value: r, Stack: stackSnippet()}
+		}
+	}()
+	if err := InjectFault(task); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// stackSnippet captures the current stack, dropping the recover plumbing
+// frames and truncating to maxStackBytes.
+func stackSnippet() string {
+	s := string(debug.Stack())
+	// Drop the panic/recover machinery at the top: keep from the first frame
+	// past debug.Stack and this package's deferred closure.
+	if i := strings.Index(s, "panic("); i > 0 {
+		if j := strings.IndexByte(s[i:], '\n'); j > 0 {
+			// Skip the "panic(...)" line and its file line.
+			rest := s[i+j+1:]
+			if k := strings.IndexByte(rest, '\n'); k > 0 {
+				s = rest[k+1:]
+			}
+		}
+	}
+	if len(s) > maxStackBytes {
+		s = s[:maxStackBytes] + "\n\t... (stack truncated)"
+	}
+	return s
+}

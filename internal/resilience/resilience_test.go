@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGuardPassesThrough(t *testing.T) {
+	if err := Guard("ok", func() error { return nil }); err != nil {
+		t.Fatalf("Guard returned %v, want nil", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Guard("err", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Guard returned %v, want %v", err, sentinel)
+	}
+}
+
+func TestGuardRecoversPanic(t *testing.T) {
+	err := Guard("change 7", func() error {
+		panic("index out of range")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Guard returned %T, want *PanicError", err)
+	}
+	if pe.Task != "change 7" {
+		t.Errorf("Task = %q, want %q", pe.Task, "change 7")
+	}
+	if !strings.Contains(pe.Error(), "index out of range") {
+		t.Errorf("Error() = %q, want panic value included", pe.Error())
+	}
+	if pe.Stack == "" {
+		t.Error("PanicError.Stack is empty, want a stack snippet")
+	}
+	if len(pe.Stack) > maxStackBytes+64 {
+		t.Errorf("stack snippet is %d bytes, want <= %d", len(pe.Stack), maxStackBytes+64)
+	}
+	if Categorize(err) != CatPanic {
+		t.Errorf("Categorize = %q, want %q", Categorize(err), CatPanic)
+	}
+}
+
+func TestGuardRecoversRuntimePanic(t *testing.T) {
+	var xs []int
+	err := Guard("oob", func() error {
+		_ = xs[3]
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Guard returned %T (%v), want *PanicError", err, err)
+	}
+}
+
+func TestBudgetSteps(t *testing.T) {
+	b := NewBudget(10, 0)
+	for i := 0; i < 10; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("step %d: unexpected error %v", i, err)
+		}
+	}
+	err := b.Step()
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Step after limit returned %v, want ErrBudgetExhausted", err)
+	}
+	if !b.Exhausted() {
+		t.Error("Exhausted() = false after trip")
+	}
+	// Sticky: later steps keep failing.
+	if err := b.Step(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("sticky Step returned %v", err)
+	}
+	if Categorize(err) != CatBudget {
+		t.Errorf("Categorize = %q, want %q", Categorize(err), CatBudget)
+	}
+}
+
+func TestBudgetWallClock(t *testing.T) {
+	b := NewBudget(0, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	var err error
+	// The wall clock is only consulted every wallCheckMask+1 steps.
+	for i := 0; i <= wallCheckMask+1; i++ {
+		if err = b.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("wall-clock budget did not trip: %v", err)
+	}
+}
+
+func TestNilBudgetNeverExhausts(t *testing.T) {
+	var b *Budget
+	if b := NewBudget(0, 0); b != nil {
+		t.Fatal("NewBudget(0,0) != nil, want the nil no-op budget")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("nil budget returned %v", err)
+		}
+	}
+	if b.Exhausted() || b.Used() != 0 || b.Err() != nil {
+		t.Error("nil budget reports non-zero state")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Record(NewEntry(fmt.Sprintf("task-%d", i), PhaseAnalyze, errors.New("x")))
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", l.Len())
+	}
+	if got := l.ByCategory()[CatIO]; got != 50 {
+		t.Fatalf("ByCategory[io] = %d, want 50", got)
+	}
+	if got := l.ByPhase()[PhaseAnalyze]; got != 50 {
+		t.Fatalf("ByPhase[analyze] = %d, want 50", got)
+	}
+}
+
+func TestLedgerReport(t *testing.T) {
+	var nilLedger *Ledger
+	if nilLedger.Report() != "" || nilLedger.Len() != 0 {
+		t.Error("nil ledger is not empty")
+	}
+	nilLedger.Record(Entry{}) // must not panic
+
+	l := NewLedger()
+	if l.Report() != "" {
+		t.Errorf("empty ledger Report = %q, want empty", l.Report())
+	}
+	l.Record(NewEntry("p1/c3", PhaseAnalyze, &PanicError{Task: "p1/c3", Value: "nil deref"}))
+	l.Record(NewEntry("p2", PhaseLoad, fmt.Errorf("read info.txt: %w", errors.New("no such file"))))
+	l.Record(NewEntry("p4/c1", PhaseAnalyze, fmt.Errorf("%w after 100 steps", ErrBudgetExhausted)))
+	r := l.Report()
+	for _, want := range []string{
+		"failure summary: 3 task(s) skipped (budget: 1, io: 1, panic: 1)",
+		"[analyze/panic] p1/c3",
+		"[load/io] p2",
+		"[analyze/budget] p4/c1",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestLedgerEntriesIsACopy(t *testing.T) {
+	l := NewLedger()
+	l.Record(Entry{Task: "a"})
+	es := l.Entries()
+	es[0].Task = "mutated"
+	if l.Entries()[0].Task != "a" {
+		t.Error("Entries() exposed internal storage")
+	}
+}
+
+func TestInjectFault(t *testing.T) {
+	defer ClearFaultInjector()
+	if err := InjectFault("anything"); err != nil {
+		t.Fatalf("no injector installed, got %v", err)
+	}
+	SetFaultInjector(func(task string) error {
+		switch task {
+		case "bad":
+			return errors.New("injected io")
+		case "kaboom":
+			panic("injected panic")
+		}
+		return nil
+	})
+	if err := InjectFault("fine"); err != nil {
+		t.Fatalf("uninjected task got %v", err)
+	}
+	if err := Guard("bad", func() error { return nil }); err == nil {
+		t.Fatal("injected error not surfaced through Guard")
+	}
+	err := Guard("kaboom", func() error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic returned %T, want *PanicError", err)
+	}
+	ClearFaultInjector()
+	if err := InjectFault("bad"); err != nil {
+		t.Fatalf("cleared injector still fired: %v", err)
+	}
+}

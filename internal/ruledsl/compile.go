@@ -12,8 +12,16 @@ import (
 
 // Parse compiles a textual rule into an executable rules.Rule. The id and
 // description annotate the result; the source text is preserved as the
-// rule's Formula.
-func Parse(id, description, src string) (*rules.Rule, error) {
+// rule's Formula. Parse never panics: rule sources reach this function from
+// user-supplied files (cryptochecker -rulefile), so even an internal
+// lexer/parser/compiler bug on pathological input is converted into an
+// error. Only MustParse — reserved for the static rule tables — panics.
+func Parse(id, description, src string) (r *rules.Rule, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("rule %s: internal error compiling rule: %v", id, p)
+		}
+	}()
 	toks, err := lex(src)
 	if err != nil {
 		return nil, fmt.Errorf("rule %s: %w", id, err)
@@ -22,7 +30,7 @@ func Parse(id, description, src string) (*rules.Rule, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rule %s: %w", id, err)
 	}
-	r := &rules.Rule{ID: id, Description: description, Formula: src}
+	r = &rules.Rule{ID: id, Description: description, Formula: src}
 	for _, c := range clauses {
 		c := c
 		r.Clauses = append(r.Clauses, rules.Clause{

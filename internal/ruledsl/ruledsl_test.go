@@ -273,3 +273,41 @@ func TestParseFileErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestParseNeverPanics feeds Parse the kind of garbage a user-supplied
+// -rulefile can contain. Whatever happens internally, it must come back as
+// an error — the checker CLI routes untrusted rule sources through here.
+func TestParseNeverPanics(t *testing.T) {
+	inputs := []string{
+		"",
+		":::",
+		"Cipher :",
+		": getInstance(X)",
+		"Cipher : getInstance(",
+		"Cipher : getInstance))",
+		"Cipher : getInstance(X) ∧",
+		"Cipher : ¬",
+		"Cipher : X=",
+		"Cipher : =X",
+		"∧ ∨ ¬ ⊤",
+		"Cipher : getInstance(X) ∧ X≥",
+		"\x00\xff\xfe",
+		"Cipher : getInstance(\"unterminated",
+		"Cipher : getInstance(X) ∧ X=⊤byte[",
+		"Cipher : f(((((((((((((((((((((((((((((((",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			if _, err := Parse("X", "junk", src); err == nil {
+				// Some junk may accidentally be grammatical; that is fine —
+				// the requirement is only that failures are errors.
+				t.Logf("Parse(%q) succeeded", src)
+			}
+		}()
+	}
+}

@@ -1,0 +1,37 @@
+# Developer entry points. Everything here is plain `go` — the Makefile only
+# names the common invocations so CI and humans run the same commands.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-short bench-baseline clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (figures + ablations + named perf benchmarks).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One iteration per benchmark: a smoke pass cheap enough for CI.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Snapshot the named perf benchmarks (parser, interpreter hot loop,
+# clustering) into BENCH_baseline.json using the diffcode-metrics/v1
+# schema, so an optimisation PR can diff its run against the baseline.
+bench-baseline:
+	BENCH_BASELINE_OUT=$(CURDIR)/BENCH_baseline.json $(GO) test -run TestWriteBenchBaseline -count=1 -v .
+
+clean:
+	rm -f BENCH_baseline.json

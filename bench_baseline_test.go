@@ -1,0 +1,57 @@
+package diffcode
+
+// Baseline runner for the named perf benchmarks. Not a test of behavior:
+// when BENCH_BASELINE_OUT is set it runs each named benchmark once via
+// testing.Benchmark and writes the results as a metrics snapshot (the same
+// diffcode-metrics/v1 schema the CLIs emit with -metrics), so a future
+// optimisation PR can diff its numbers against a committed baseline:
+//
+//	make bench-baseline        # writes BENCH_baseline.json
+//
+// Without the environment variable the test skips, keeping `go test ./...`
+// fast and deterministic.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// baselineBenchmarks are the hot paths the perf trajectory tracks. Keep
+// this list in sync with the named benchmarks in bench_test.go.
+var baselineBenchmarks = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"parser", BenchmarkParser},
+	{"interpreter_hot_loop", BenchmarkInterpreterHotLoop},
+	{"clustering_dist_matrix", BenchmarkClusteringDistMatrix},
+	{"clustering_agglomerate", BenchmarkClusteringAgglomerate},
+	{"diff_sources", BenchmarkDiffSources},
+	{"check_source", BenchmarkCheckSource},
+}
+
+func TestWriteBenchBaseline(t *testing.T) {
+	out := os.Getenv("BENCH_BASELINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_BASELINE_OUT=<file> to write the benchmark baseline snapshot")
+	}
+	reg := obs.NewRegistry()
+	for _, bb := range baselineBenchmarks {
+		r := testing.Benchmark(bb.fn)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", bb.name)
+		}
+		reg.Counter("bench." + bb.name + ".iterations").Add(int64(r.N))
+		reg.Gauge("bench." + bb.name + ".ns_per_op").Set(r.NsPerOp())
+		reg.Gauge("bench." + bb.name + ".allocs_per_op").Set(r.AllocsPerOp())
+		reg.Gauge("bench." + bb.name + ".bytes_per_op").Set(r.AllocedBytesPerOp())
+		t.Logf("%-28s %12d ns/op %8d B/op %6d allocs/op",
+			bb.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	if err := obs.WriteSnapshotFile(out, reg, false); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	t.Logf("baseline written to %s", out)
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/rules"
@@ -157,6 +158,108 @@ class T {
 	for i := 0; i < b.N; i++ {
 		if len(CheckSource(src, RuleContext{}, Options{})) == 0 {
 			b.Fatal("no violations found")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Perf baseline (DESIGN.md §7): the three named hot paths. These are the
+// benchmarks the bench-baseline runner snapshots into BENCH_baseline.json so
+// later optimisation PRs have a fixed reference to diff against.
+// ---------------------------------------------------------------------------
+
+// benchSources is a small multi-file program exercising the parser and the
+// interpreter together: field initialisers, branches, helper-method inlining.
+func benchSources() map[string]string {
+	return map[string]string{
+		"A.java": benchOld,
+		"B.java": benchNew,
+		"C.java": `
+class KeyTool {
+    static final String DIGEST = "SHA-256";
+    byte[] digest(byte[] in, int rounds) throws Exception {
+        MessageDigest md = MessageDigest.getInstance(DIGEST);
+        byte[] out = in;
+        if (rounds > 1) { out = md.digest(out); }
+        else { out = md.digest(in); }
+        return out;
+    }
+    SecureRandom fresh() {
+        SecureRandom r = new SecureRandom();
+        r.setSeed(new byte[]{1, 2, 3});
+        return r;
+    }
+}
+`,
+	}
+}
+
+// BenchmarkParser measures source → AST → indexed program, the first stage
+// of every pipeline run (paper §4.1).
+func BenchmarkParser(b *testing.B) {
+	sources := benchSources()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog := analysis.ParseProgram(sources)
+		if len(prog.Files) != len(sources) {
+			b.Fatal("parse lost a file")
+		}
+	}
+}
+
+// BenchmarkInterpreterHotLoop measures the abstract interpreter's step loop
+// (analysis §4.2) on a pre-parsed program, isolating interpretation cost
+// from parsing.
+func BenchmarkInterpreterHotLoop(b *testing.B) {
+	prog := analysis.ParseProgram(benchSources())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.Analyze(prog, analysis.Options{})
+		if len(res.Objs) == 0 {
+			b.Fatal("no abstract objects")
+		}
+	}
+}
+
+// benchSurvivors mines a corpus once and returns every class's semantic
+// survivors — the clustering benchmarks' shared input.
+func benchSurvivors(b *testing.B) []UsageChange {
+	c := GenerateCorpus(CorpusConfig{Seed: 1, Scale: 0.35, Projects: 140, ExtraProjects: 0})
+	e := NewEvaluation(c, Options{})
+	var all []UsageChange
+	for _, class := range TargetClasses() {
+		all = append(all, e.SortedSurvivors(class)...)
+	}
+	if len(all) < 4 {
+		b.Skip("not enough survivors at bench scale")
+	}
+	return all
+}
+
+// BenchmarkClusteringDistMatrix measures the O(n²) pairwise usage-distance
+// computation feeding agglomeration (paper §5).
+func BenchmarkClusteringDistMatrix(b *testing.B) {
+	all := benchSurvivors(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(cluster.DistMatrix(all)) != len(all) {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+// BenchmarkClusteringAgglomerate measures dendrogram construction under
+// complete linkage given a precomputed distance matrix.
+func BenchmarkClusteringAgglomerate(b *testing.B) {
+	all := benchSurvivors(b)
+	d := cluster.DistMatrix(all)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cluster.AgglomerateMatrix(d, cluster.Complete) == nil {
+			b.Fatal("no dendrogram")
 		}
 	}
 }

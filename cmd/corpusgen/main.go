@@ -6,6 +6,10 @@
 //
 // The layout is one directory per project with its final snapshot and the
 // full commit history (old/new version of each change).
+//
+// Projects are written in isolation: a project that fails to write is
+// skipped and recorded rather than aborting the whole corpus; -fail-fast
+// and -max-errors restore the abort behavior, matching the other CLIs.
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"os"
 
 	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -24,6 +30,15 @@ func main() {
 		projects = flag.Int("projects", 50, "training projects")
 		extra    = flag.Int("extra", 6, "held-out projects")
 		stats    = flag.Bool("stats", false, "print commit-kind statistics")
+		// -budget exists for flag parity with the other three CLIs (scripts
+		// pass a uniform flag set); generation performs no abstract
+		// interpretation, so it has nothing to bound here.
+		_         = flag.Int64("budget", 0, "accepted for CLI parity; corpusgen runs no analysis")
+		maxErr    = flag.Int("max-errors", 0, "abort after this many unwritable projects (0 = unlimited)")
+		failFast  = flag.Bool("fail-fast", false, "abort at the first unwritable project")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -31,19 +46,51 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := corpus.Generate(corpus.Config{
-		Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra,
-	})
-	if err := corpus.Save(c, *out); err != nil {
+	run, err := obs.NewCLI("corpusgen", *metrics, *debugAddr, *verbose)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "corpusgen: %v\n", err)
 		os.Exit(1)
 	}
-	files := 0
+
+	sp := run.Reg.StartSpan("generate")
+	c := corpus.Generate(corpus.Config{
+		Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra,
+	})
+	sp.End()
+	run.Reg.Counter("corpusgen.projects_generated").Add(int64(len(c.Projects)))
+	run.Reg.Counter("corpusgen.commits_generated").Add(int64(c.CommitCount()))
+
+	// Each project is saved in isolation so one unwritable directory
+	// degrades the run instead of killing it.
+	ledger := resilience.NewLedger()
+	files, written := 0, 0
+	sp = run.Reg.StartSpan("save")
 	for _, p := range c.Projects {
+		p := p
+		task := "project " + p.Name
+		err := resilience.Guard(task, func() error {
+			return corpus.Save(&corpus.Corpus{Projects: []*corpus.Project{p}}, *out)
+		})
+		if err != nil {
+			ledger.Record(resilience.NewEntry(task, resilience.PhaseLoad, err))
+			if *failFast || (*maxErr > 0 && ledger.Len() >= *maxErr) {
+				sp.End()
+				fmt.Fprint(os.Stderr, ledger.Report())
+				fmt.Fprintln(os.Stderr, "corpusgen: aborted early (fail-fast/max-errors); corpus is partial")
+				run.Flush(ledger, true)
+				os.Exit(1)
+			}
+			continue
+		}
+		written++
 		files += len(p.Files)
 	}
+	sp.End()
+	run.Reg.Counter("corpusgen.projects_written").Add(int64(written))
+	run.Reg.Counter("corpusgen.files_written").Add(int64(files))
+
 	fmt.Printf("wrote %d projects (%d files, %d commits) to %s\n",
-		len(c.Projects), files, c.CommitCount(), *out)
+		written, files, c.CommitCount(), *out)
 	if *stats {
 		kinds := map[corpus.CommitKind]int{}
 		for _, p := range c.TrainingProjects() {
@@ -55,5 +102,12 @@ func main() {
 			corpus.KindAdd, corpus.KindRemove, corpus.KindFix, corpus.KindBug} {
 			fmt.Printf("  %-9s %6d\n", k, kinds[k])
 		}
+	}
+	if ledger.Len() > 0 {
+		fmt.Fprint(os.Stderr, ledger.Report())
+	}
+	run.Flush(ledger, false)
+	if ledger.Len() > 0 {
+		os.Exit(1)
 	}
 }

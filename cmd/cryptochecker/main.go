@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/androidctx"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/ruledsl"
 	"repro/internal/rules"
@@ -28,17 +29,19 @@ import (
 
 func main() {
 	var (
-		ruleList = flag.String("rules", "", "comma-separated rule IDs (default: all 13)")
-		ruleFile = flag.String("rulefile", "", "load additional rules from a file ('id | description | formula' lines)")
-		android  = flag.Bool("android", false, "treat the project as an Android app")
-		minSDK   = flag.Int("minsdk", 0, "Android minSdkVersion (for rule R6)")
-		lprng    = flag.Bool("lprng", false, "the Linux-PRNG SecureRandom fix is installed")
-		list     = flag.Bool("list", false, "list available rules and exit")
-		quiet    = flag.Bool("q", false, "print only rule IDs")
-		verbose  = flag.Bool("v", false, "explain each violation with the matched abstract usages")
-		budget   = flag.Int64("budget", 0, "max abstract-interpretation steps (0 = unlimited)")
-		maxErr   = flag.Int("max-errors", 0, "abort after this many unreadable inputs (0 = unlimited)")
-		failFast = flag.Bool("fail-fast", false, "abort at the first unreadable input")
+		ruleList  = flag.String("rules", "", "comma-separated rule IDs (default: all 13)")
+		ruleFile  = flag.String("rulefile", "", "load additional rules from a file ('id | description | formula' lines)")
+		android   = flag.Bool("android", false, "treat the project as an Android app")
+		minSDK    = flag.Int("minsdk", 0, "Android minSdkVersion (for rule R6)")
+		lprng     = flag.Bool("lprng", false, "the Linux-PRNG SecureRandom fix is installed")
+		list      = flag.Bool("list", false, "list available rules and exit")
+		quiet     = flag.Bool("q", false, "print only rule IDs")
+		verbose   = flag.Bool("v", false, "explain each violation with the matched abstract usages")
+		budget    = flag.Int64("budget", 0, "max abstract-interpretation steps (0 = unlimited)")
+		maxErr    = flag.Int("max-errors", 0, "abort after this many unreadable inputs (0 = unlimited)")
+		failFast  = flag.Bool("fail-fast", false, "abort at the first unreadable input")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cryptochecker: no input files")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// -v doubles as the telemetry-summary switch (it goes to stderr, so
+	// the violation report on stdout is unchanged).
+	run, err := obs.NewCLI("cryptochecker", *metrics, *debugAddr, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+		os.Exit(1)
 	}
 
 	ruleSet := rules.All()
@@ -88,12 +99,14 @@ func main() {
 		if err := collect(arg, sources); err != nil {
 			if *failFast {
 				fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+				run.Flush(ledger, true)
 				os.Exit(1)
 			}
 			ledger.Record(resilience.NewEntry(arg, resilience.PhaseLoad, err))
 			if *maxErr > 0 && ledger.Len() >= *maxErr {
 				fmt.Fprint(os.Stderr, ledger.Report())
 				fmt.Fprintln(os.Stderr, "cryptochecker: too many unreadable inputs (-max-errors)")
+				run.Flush(ledger, true)
 				os.Exit(1)
 			}
 		}
@@ -101,6 +114,7 @@ func main() {
 	if len(sources) == 0 {
 		fmt.Fprint(os.Stderr, ledger.Report())
 		fmt.Fprintln(os.Stderr, "cryptochecker: no .java files found")
+		run.Flush(ledger, true)
 		os.Exit(2)
 	}
 
@@ -116,10 +130,11 @@ func main() {
 	// a pathological input degrades to a partial (or failed) check instead
 	// of a crash.
 	var res *analysis.Result
-	err := resilience.Guard("analyze", func() error {
+	sp := run.Reg.StartSpan("check")
+	err = resilience.Guard("analyze", func() error {
 		var aerr error
-		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgram(sources),
-			analysis.Options{Budget: resilience.NewBudget(*budget, 0)})
+		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgramObs(sources, run.Reg),
+			analysis.Options{Budget: resilience.NewBudget(*budget, 0), Metrics: run.Reg})
 		return aerr
 	})
 	if err != nil {
@@ -129,10 +144,14 @@ func main() {
 			ledger.Record(resilience.NewEntry("analyze", resilience.PhaseAnalyze, err))
 			fmt.Fprint(os.Stderr, ledger.Report())
 			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+			run.Flush(ledger, true)
 			os.Exit(1)
 		}
 	}
 	violations := rules.Check(res, ctx, ruleSet)
+	sp.End()
+	run.Reg.Counter("checker.rules_evaluated").Add(int64(len(ruleSet)))
+	run.Reg.Counter("checker.violations").Add(int64(len(violations)))
 
 	for _, v := range violations {
 		if *quiet {
@@ -152,6 +171,7 @@ func main() {
 	if ledger.Len() > 0 {
 		fmt.Fprint(os.Stderr, ledger.Report())
 	}
+	run.Flush(ledger, false)
 	if len(violations) > 0 {
 		if !*quiet {
 			fmt.Printf("\n%d rule(s) matched across %d file(s)\n", len(violations), len(sources))

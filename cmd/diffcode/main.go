@@ -21,6 +21,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/textdiff"
 )
@@ -37,14 +38,23 @@ func main() {
 		budget    = flag.Int64("budget", 0, "max abstract-interpretation steps per change (0 = unlimited)")
 		maxErrors = flag.Int("max-errors", 0, "abort mining after this many skipped changes (0 = unlimited)")
 		failFast  = flag.Bool("fail-fast", false, "abort mining at the first skipped change")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	run, err := obs.NewCLI("diffcode", *metrics, *debugAddr, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+		os.Exit(1)
+	}
 	opts := core.Options{
 		Depth:       *depth,
 		BudgetSteps: *budget,
 		MaxErrors:   *maxErrors,
 		FailFast:    *failFast,
+		Metrics:     run.Reg,
 	}
 	classes := cryptoapi.TargetClasses
 	if *class != "" {
@@ -58,9 +68,9 @@ func main() {
 
 	switch {
 	case *oldFile != "" && *newFile != "":
-		runSingle(*oldFile, *newFile, classes, opts, *showDiff, *dot)
+		runSingle(run, *oldFile, *newFile, classes, opts, *showDiff, *dot)
 	case *corpusDir != "":
-		runCorpus(*corpusDir, classes, opts)
+		runCorpus(run, *corpusDir, classes, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "diffcode: need either -old/-new or -corpus")
 		flag.Usage()
@@ -68,7 +78,7 @@ func main() {
 	}
 }
 
-func runSingle(oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool) {
+func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool) {
 	oldSrc := mustRead(oldPath)
 	newSrc := mustRead(newPath)
 	if showDiff {
@@ -93,6 +103,7 @@ func runSingle(oldPath, newPath string, classes []string, opts core.Options, sho
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+		run.Flush(d.Ledger(), true)
 		os.Exit(1)
 	}
 	any := false
@@ -115,20 +126,22 @@ func runSingle(oldPath, newPath string, classes []string, opts core.Options, sho
 	if !any {
 		fmt.Println("no semantic usage changes (refactoring or unrelated change)")
 	}
+	run.Flush(d.Ledger(), false)
 }
 
-func runCorpus(dir string, classes []string, opts core.Options) {
+func runCorpus(run *obs.CLI, dir string, classes []string, opts core.Options) {
 	// One ledger spans the whole run: corpus loading and mining both record
 	// the work they skipped into it.
 	ledger := resilience.NewLedger()
 	opts.Ledger = ledger
-	loadOpts := []corpus.LoadOption{corpus.WithLedger(ledger)}
+	loadOpts := []corpus.LoadOption{corpus.WithLedger(ledger), corpus.WithMetrics(run.Reg)}
 	if opts.FailFast {
 		loadOpts = append(loadOpts, corpus.Strict())
 	}
 	c, err := corpus.Load(dir, loadOpts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+		run.Flush(ledger, true)
 		os.Exit(1)
 	}
 	d := core.New(opts)
@@ -161,9 +174,13 @@ func runCorpus(dir string, classes []string, opts core.Options) {
 		fmt.Fprint(os.Stderr, ledger.Report())
 		if opts.FailFast || (opts.MaxErrors > 0 && ledger.Len() >= opts.MaxErrors) {
 			fmt.Fprintln(os.Stderr, "diffcode: mining aborted early (fail-fast/max-errors); results are partial")
+			// The snapshot still lands on disk, flagged partial, so a
+			// degraded run stays diagnosable.
+			run.Flush(ledger, true)
 			os.Exit(1)
 		}
 	}
+	run.Flush(ledger, false)
 }
 
 func mustRead(path string) string {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
+	"repro/internal/obs"
 )
 
 var outDir string
@@ -52,19 +53,21 @@ func section(name string, f func(w io.Writer)) {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, or all")
-		elicit   = flag.Bool("elicit", false, "also run the automated rule elicitation over the mined clusters")
-		trend    = flag.Bool("trend", false, "also compare rule violations at the first vs last commit of each history")
-		headline = flag.Bool("headline", false, "print only the headline claims")
-		seed     = flag.Int64("seed", 1, "corpus generation seed")
-		scale    = flag.Float64("scale", 0.5, "corpus scale (1.0 = paper scale)")
-		projects = flag.Int("projects", 230, "training projects (paper: 461)")
-		extra    = flag.Int("extra", 29, "held-out projects (paper: 58)")
-		depth    = flag.Int("depth", 5, "usage-DAG expansion depth")
-		verbose  = flag.Bool("v", false, "print timing information")
-		budget   = flag.Int64("budget", 0, "max abstract-interpretation steps per mined change (0 = unlimited)")
-		maxErr   = flag.Int("max-errors", 0, "abort analysis after this many skipped changes (0 = unlimited)")
-		failFast = flag.Bool("fail-fast", false, "abort analysis at the first skipped change")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, or all")
+		elicit    = flag.Bool("elicit", false, "also run the automated rule elicitation over the mined clusters")
+		trend     = flag.Bool("trend", false, "also compare rule violations at the first vs last commit of each history")
+		headline  = flag.Bool("headline", false, "print only the headline claims")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		scale     = flag.Float64("scale", 0.5, "corpus scale (1.0 = paper scale)")
+		projects  = flag.Int("projects", 230, "training projects (paper: 461)")
+		extra     = flag.Int("extra", 29, "held-out projects (paper: 58)")
+		depth     = flag.Int("depth", 5, "usage-DAG expansion depth")
+		verbose   = flag.Bool("v", false, "print timing information")
+		budget    = flag.Int64("budget", 0, "max abstract-interpretation steps per mined change (0 = unlimited)")
+		maxErr    = flag.Int("max-errors", 0, "abort analysis after this many skipped changes (0 = unlimited)")
+		failFast  = flag.Bool("fail-fast", false, "abort analysis at the first skipped change")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.StringVar(&outDir, "out", "", "also write each figure to <out>/figureN.txt")
 	flag.Parse()
@@ -75,12 +78,20 @@ func main() {
 		}
 	}
 
+	// -v doubles as the telemetry-summary switch: timing lines during the
+	// run, the stage table at exit.
+	run, err := obs.NewCLI("evalrepro", *metrics, *debugAddr, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+		os.Exit(1)
+	}
 	cfg := corpus.Config{Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra}
 	opts := core.Options{
 		Depth:       *depth,
 		BudgetSteps: *budget,
 		MaxErrors:   *maxErr,
 		FailFast:    *failFast,
+		Metrics:     run.Reg,
 	}
 
 	start := time.Now()
@@ -92,6 +103,7 @@ func main() {
 
 	if *fig == "9" && !*headline && !*elicit && !*trend {
 		section("figure9", func(w io.Writer) { fmt.Fprintln(w, core.Figure9()) })
+		run.Flush(nil, false)
 		return
 	}
 
@@ -103,7 +115,14 @@ func main() {
 	}
 	// Degraded-mode bookkeeping: whatever figures were requested, finish by
 	// reporting any changes the resilience layer skipped (empty on an
-	// intact corpus, so default output is unchanged).
+	// intact corpus, so default output is unchanged). The telemetry flush
+	// runs last (defers are LIFO) so the summary includes ledger counts.
+	defer func() {
+		l := e.DiffCode.Ledger()
+		partial := l.Len() > 0 &&
+			(opts.FailFast || (opts.MaxErrors > 0 && l.Len() >= opts.MaxErrors))
+		run.Flush(l, partial)
+	}()
 	defer printFailures(e, *verbose)
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }

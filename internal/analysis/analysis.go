@@ -11,6 +11,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cryptoapi"
 	"repro/internal/javaast"
 	"repro/internal/javaparser"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -34,6 +36,9 @@ type Options struct {
 	// the analysis with resilience.ErrBudgetExhausted. Budgets are single-use
 	// and single-goroutine; callers create one per analyzed change.
 	Budget *resilience.Budget
+	// Metrics, when non-nil, receives interpreter telemetry (steps executed,
+	// per-run step distribution, budget exhaustions).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +67,13 @@ type Program struct {
 // extension (manifests, build scripts) are skipped; names without any
 // extension are treated as Java snippets.
 func ParseProgram(sources map[string]string) *Program {
+	return ParseProgramObs(sources, nil)
+}
+
+// ParseProgramObs is ParseProgram with parser telemetry: files, bytes, and
+// recovered syntax errors are counted into reg (nil reg is a no-op, making
+// this identical to ParseProgram).
+func ParseProgramObs(sources map[string]string, reg *obs.Registry) *Program {
 	names := make([]string, 0, len(sources))
 	for n := range sources {
 		if dot := strings.LastIndexByte(n, '.'); dot >= 0 && !strings.HasSuffix(n, ".java") {
@@ -71,9 +83,17 @@ func ParseProgram(sources map[string]string) *Program {
 	}
 	sort.Strings(names)
 	p := &Program{}
+	var bytes, parseErrs int64
 	for _, n := range names {
 		res := javaparser.Parse(sources[n])
+		bytes += int64(len(sources[n]))
+		parseErrs += int64(len(res.Errors))
 		p.Files = append(p.Files, File{Name: n, Unit: res.Unit})
+	}
+	if reg != nil {
+		reg.Counter("parse.files").Add(int64(len(names)))
+		reg.Counter("parse.bytes").Add(bytes)
+		reg.Counter("parse.errors").Add(parseErrs)
 	}
 	return p
 }
@@ -144,6 +164,7 @@ func AnalyzeBudgeted(prog *Program, opts Options) (res *Result, err error) {
 			res = an.result()
 			err = stop.err
 		}
+		an.flushMetrics(err)
 	}()
 	an.run()
 	return an.result(), nil
@@ -198,6 +219,9 @@ type analyzer struct {
 	constBusy   map[*javaast.FieldDecl]bool
 	curFile     int
 	budget      *resilience.Budget
+	// steps counts every statement and expression visited; unlike the
+	// budget it is always on (one register increment in the hot loop).
+	steps int64
 }
 
 // budgetStop is the panic payload that unwinds an over-budget execution
@@ -208,11 +232,27 @@ type budgetStop struct{ err error }
 // loop (every statement and expression). Exhaustion aborts the whole
 // analysis by unwinding to AnalyzeBudgeted.
 func (an *analyzer) step() {
+	an.steps++
 	if an.budget == nil {
 		return
 	}
 	if err := an.budget.Step(); err != nil {
 		panic(budgetStop{err: err})
+	}
+}
+
+// flushMetrics records the run's interpreter telemetry once, at the end of
+// AnalyzeBudgeted (normal or budget-exhausted exit).
+func (an *analyzer) flushMetrics(err error) {
+	reg := an.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("analysis.runs").Inc()
+	reg.Counter("analysis.steps").Add(an.steps)
+	reg.Histogram("analysis.steps_per_run").Observe(an.steps)
+	if errors.Is(err, resilience.ErrBudgetExhausted) {
+		reg.Counter("analysis.budget_exhausted").Inc()
 	}
 }
 

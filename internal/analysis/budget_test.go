@@ -41,7 +41,7 @@ func TestBudgetExhaustedOnForkHeavySnippet(t *testing.T) {
 func TestBudgetLargeEnoughIsNoOp(t *testing.T) {
 	src := forkBombSource(40)
 	unbudgeted := AnalyzeSource(src, Options{})
-	res, err := AnalyzeSourceBudgeted(src, Options{Budget: resilience.NewBudget(1 << 30, 0)})
+	res, err := AnalyzeSourceBudgeted(src, Options{Budget: resilience.NewBudget(1<<30, 0)})
 	if err != nil {
 		t.Fatalf("unexpected error %v", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/change"
+	"repro/internal/obs"
 	"repro/internal/textdist"
 )
 
@@ -66,6 +67,12 @@ func (n *Node) Items() []int {
 
 // DistMatrix computes the symmetric usageDist matrix over usage changes.
 func DistMatrix(changes []change.UsageChange) [][]float64 {
+	return DistMatrixObs(changes, nil)
+}
+
+// DistMatrixObs is DistMatrix with telemetry: every pairwise UsageDist
+// evaluation is counted into reg (nil reg is a no-op).
+func DistMatrixObs(changes []change.UsageChange, reg *obs.Registry) [][]float64 {
 	n := len(changes)
 	d := make([][]float64, n)
 	for i := range d {
@@ -80,18 +87,30 @@ func DistMatrix(changes []change.UsageChange) [][]float64 {
 			d[j][i] = dist
 		}
 	}
+	reg.Counter("cluster.dist_computations").Add(int64(n) * int64(n-1) / 2)
 	return d
 }
 
 // Agglomerate builds the dendrogram over the given usage changes. It
 // returns nil for empty input; a single change yields a lone leaf.
 func Agglomerate(changes []change.UsageChange, linkage Linkage) *Node {
-	return AgglomerateMatrix(DistMatrix(changes), linkage)
+	return AgglomerateObs(changes, linkage, nil)
+}
+
+// AgglomerateObs is Agglomerate with telemetry: distance computations,
+// merge iterations, and candidate-pair scans are counted into reg.
+func AgglomerateObs(changes []change.UsageChange, linkage Linkage, reg *obs.Registry) *Node {
+	return AgglomerateMatrixObs(DistMatrixObs(changes, reg), linkage, reg)
 }
 
 // AgglomerateMatrix clusters from a precomputed distance matrix.
 // Ties break deterministically on the smallest (i, j) pair.
 func AgglomerateMatrix(dist [][]float64, linkage Linkage) *Node {
+	return AgglomerateMatrixObs(dist, linkage, nil)
+}
+
+// AgglomerateMatrixObs is AgglomerateMatrix with merge-iteration telemetry.
+func AgglomerateMatrixObs(dist [][]float64, linkage Linkage, reg *obs.Registry) *Node {
 	n := len(dist)
 	if n == 0 {
 		return nil
@@ -151,6 +170,7 @@ func AgglomerateMatrix(dist [][]float64, linkage Linkage) *Node {
 		nodes[bi] = merged
 		active[bj] = false
 		remaining--
+		reg.Counter("cluster.merges").Inc()
 	}
 	for i := 0; i < n; i++ {
 		if active[i] {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/rules"
 	"repro/internal/usage"
@@ -47,6 +48,10 @@ type Options struct {
 	// Ledger receives the skip-and-record entries of this pipeline; nil
 	// means New creates a private one (reachable via DiffCode.Ledger).
 	Ledger *resilience.Ledger
+	// Metrics receives stage telemetry (spans, counters, histograms) for
+	// the whole pipeline; nil disables all instrumentation at the cost of
+	// one nil check per probe.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +60,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
+	}
+	if o.Analysis.Metrics == nil {
+		o.Analysis.Metrics = o.Metrics
 	}
 	return o
 }
@@ -81,6 +89,9 @@ func (d *DiffCode) Options() Options { return d.opts }
 // Ledger returns the failure ledger recording every change or project the
 // pipeline skipped instead of dying on.
 func (d *DiffCode) Ledger() *resilience.Ledger { return d.ledger }
+
+// Metrics returns the pipeline's registry (nil when uninstrumented).
+func (d *DiffCode) Metrics() *obs.Registry { return d.opts.Metrics }
 
 // AnalyzedChange is a mined code change with both versions analyzed. The
 // raw sources are retained so the concrete patch behind a usage change can
@@ -128,12 +139,15 @@ func (d *DiffCode) AnalyzeChange(cc mining.CodeChange) (*AnalyzedChange, error) 
 // to (parse vs analyze) for ledger bookkeeping.
 func (d *DiffCode) analyzeChange(cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
 	task := taskName(cc)
+	reg := d.opts.Metrics
 	var progOld, progNew *analysis.Program
+	sp := reg.StartSpanTask("parse", task)
 	err := resilience.Guard(task+" [parse]", func() error {
-		progOld = analysis.ParseProgram(map[string]string{"Main.java": cc.Old})
-		progNew = analysis.ParseProgram(map[string]string{"Main.java": cc.New})
+		progOld = analysis.ParseProgramObs(map[string]string{"Main.java": cc.Old}, reg)
+		progNew = analysis.ParseProgramObs(map[string]string{"Main.java": cc.New}, reg)
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, resilience.PhaseParse, err
 	}
@@ -145,6 +159,7 @@ func (d *DiffCode) analyzeChange(cc mining.CodeChange) (*AnalyzedChange, resilie
 		UsesOld: map[string]bool{},
 		UsesNew: map[string]bool{},
 	}
+	sp = reg.StartSpanTask("analyze", task)
 	err = resilience.Guard(task, func() error {
 		// Both versions share one budget: the unit of skipping is the change.
 		aopts := d.opts.Analysis
@@ -160,9 +175,11 @@ func (d *DiffCode) analyzeChange(cc mining.CodeChange) (*AnalyzedChange, resilie
 		a.Old, a.New = old, nw
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, resilience.PhaseAnalyze, err
 	}
+	reg.Counter("analysis.changes_analyzed").Inc()
 	for _, c := range cryptoapi.TargetClasses {
 		a.UsesOld[c] = mining.UsesClass(cc.Old, c)
 		a.UsesNew[c] = mining.UsesClass(cc.New, c)
@@ -186,6 +203,7 @@ func (d *DiffCode) record(cc mining.CodeChange, phase resilience.Phase, err erro
 // leaving a nil slot at their index; Options.FailFast and
 // Options.MaxErrors abort the remainder of the batch early.
 func (d *DiffCode) AnalyzeAll(ccs []mining.CodeChange) []*AnalyzedChange {
+	d.opts.Metrics.Gauge("pipeline.workers").Set(int64(d.opts.Workers))
 	out := make([]*AnalyzedChange, len(ccs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, d.opts.Workers)
@@ -230,7 +248,9 @@ func (d *DiffCode) ExtractClass(a *AnalyzedChange, class string) []change.UsageC
 // resilience layer skipped are dropped from the result (they are recorded
 // in the ledger), so downstream stages see only analyzed changes.
 func (d *DiffCode) MineCorpus(c *corpus.Corpus) []*AnalyzedChange {
-	ccs := mining.Collect(c, mining.Options{MinCommits: d.opts.MinCommits})
+	sp := d.opts.Metrics.StartSpan("mine")
+	ccs := mining.Collect(c, mining.Options{MinCommits: d.opts.MinCommits, Metrics: d.opts.Metrics})
+	sp.End()
 	analyzed := d.AnalyzeAll(ccs)
 	out := make([]*AnalyzedChange, 0, len(analyzed))
 	for _, a := range analyzed {
@@ -253,7 +273,9 @@ type ClassPipelineResult struct {
 // layer skipped) are ignored; a panic while extracting one change skips
 // that change and records it, rather than aborting the class.
 func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipelineResult {
+	reg := d.opts.Metrics
 	var all []change.UsageChange
+	esp := reg.StartSpanTask("extract", class)
 	for _, a := range analyzed {
 		if a == nil || !a.UsesClass(class) {
 			continue
@@ -268,14 +290,23 @@ func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipel
 			d.ledger.Record(resilience.NewEntry(task, resilience.PhaseExtract, err))
 		}
 	}
+	esp.End()
+	reg.Counter("extract.usage_changes").Add(int64(len(all)))
+	fsp := reg.StartSpanTask("filter", class)
 	kept, stats := change.Filter(all)
+	fsp.End()
+	reg.Counter("filter.usage_changes").Add(int64(stats.Total))
+	reg.Counter("filter.survivors").Add(int64(len(kept)))
 	return ClassPipelineResult{Class: class, Stats: stats, Survivors: kept}
 }
 
 // ClusterChanges builds the dendrogram over semantic usage changes
 // (complete linkage, per the paper).
 func (d *DiffCode) ClusterChanges(changes []change.UsageChange) *cluster.Node {
-	return cluster.Agglomerate(changes, cluster.Complete)
+	sp := d.opts.Metrics.StartSpan("cluster")
+	root := cluster.AgglomerateObs(changes, cluster.Complete, d.opts.Metrics)
+	sp.End()
+	return root
 }
 
 // ---------------------------------------------------------------------------
@@ -299,8 +330,15 @@ func NewChecker(ruleSet []*rules.Rule, opts Options) *CryptoChecker {
 // CheckSources analyzes the given files as one program and reports all rule
 // violations.
 func (c *CryptoChecker) CheckSources(sources map[string]string, ctx rules.Context) []rules.Violation {
-	res := analysis.Analyze(analysis.ParseProgram(sources), c.opts.Analysis)
-	return rules.Check(res, ctx, c.Rules)
+	reg := c.opts.Metrics
+	sp := reg.StartSpan("check")
+	res := analysis.Analyze(analysis.ParseProgramObs(sources, reg), c.opts.Analysis)
+	violations := rules.Check(res, ctx, c.Rules)
+	sp.End()
+	reg.Counter("checker.programs").Inc()
+	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
+	reg.Counter("checker.violations").Add(int64(len(violations)))
+	return violations
 }
 
 // CheckProject checks a corpus project snapshot.

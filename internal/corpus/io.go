@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -61,8 +62,9 @@ func Save(c *Corpus, dir string) error {
 type LoadOption func(*loadConfig)
 
 type loadConfig struct {
-	strict bool
-	ledger *resilience.Ledger
+	strict  bool
+	ledger  *resilience.Ledger
+	metrics *obs.Registry
 }
 
 // WithLedger records the projects Load skipped (malformed directories,
@@ -75,6 +77,11 @@ func WithLedger(l *resilience.Ledger) LoadOption {
 // the project.
 func Strict() LoadOption {
 	return func(c *loadConfig) { c.strict = true }
+}
+
+// WithMetrics counts loaded projects, commits, files, and bytes into reg.
+func WithMetrics(reg *obs.Registry) LoadOption {
+	return func(c *loadConfig) { c.metrics = reg }
 }
 
 // Load reads a corpus previously written by Save. Each project directory is
@@ -116,6 +123,19 @@ func Load(dir string, opts ...LoadOption) (*Corpus, error) {
 			continue
 		}
 		c.Projects = append(c.Projects, p)
+		if reg := cfg.metrics; reg != nil {
+			reg.Counter("corpus.projects_loaded").Inc()
+			reg.Counter("corpus.commits_loaded").Add(int64(len(p.Commits)))
+			reg.Counter("corpus.files_loaded").Add(int64(len(p.Files)))
+			var bytes int64
+			for _, content := range p.Files {
+				bytes += int64(len(content))
+			}
+			for _, cm := range p.Commits {
+				bytes += int64(len(cm.Old) + len(cm.New))
+			}
+			reg.Counter("corpus.bytes_loaded").Add(bytes)
+		}
 	}
 	return c, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/change"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
+	"repro/internal/obs"
 )
 
 // CodeChange is one mined code change: the two versions of a file plus
@@ -68,6 +69,9 @@ type Options struct {
 	// repositories (paper §6.1: forks are excluded so the same fix is not
 	// counted once per fork).
 	KeepForks bool
+	// Metrics, when non-nil, receives mining telemetry (projects and
+	// commits scanned, changes mined, forks deduplicated).
+	Metrics *obs.Registry
 }
 
 // historyFingerprint identifies a repository by the content of its first
@@ -111,15 +115,21 @@ func dedupForks(projects []*corpus.Project) []*corpus.Project {
 // repositories (common history prefix) are de-duplicated unless KeepForks
 // is set.
 func Collect(c *corpus.Corpus, opts Options) []CodeChange {
+	reg := opts.Metrics
 	projects := c.TrainingProjects()
+	before := len(projects)
 	if !opts.KeepForks {
 		projects = dedupForks(projects)
 	}
+	reg.Counter("mining.projects_scanned").Add(int64(len(projects)))
+	reg.Counter("mining.forks_deduped").Add(int64(before - len(projects)))
 	var out []CodeChange
 	for _, p := range projects {
 		if len(p.Commits) < opts.MinCommits {
+			reg.Counter("mining.projects_skipped_min_commits").Inc()
 			continue
 		}
+		reg.Counter("mining.commits_scanned").Add(int64(len(p.Commits)))
 		for _, cm := range p.Commits {
 			if !UsesAnyTarget(cm.Old) && !UsesAnyTarget(cm.New) {
 				continue
@@ -137,6 +147,7 @@ func Collect(c *corpus.Corpus, opts Options) []CodeChange {
 			})
 		}
 	}
+	reg.Counter("mining.changes_mined").Add(int64(len(out)))
 	return out
 }
 

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/resilience"
+)
+
+// CLI bundles the per-process observability state shared by the four
+// command-line tools: the registry (created only when an observability
+// flag is set, so an unflagged run stays on the nil no-op path end to
+// end), the -metrics snapshot destination, and the -v summary toggle.
+type CLI struct {
+	Name        string
+	Reg         *Registry
+	MetricsPath string
+	Verbose     bool
+	flushed     bool
+}
+
+// NewCLI builds the observability state from the common flag values. The
+// registry exists only if at least one of -metrics, -v, or -debug-addr was
+// given; -debug-addr additionally starts the live introspection endpoint
+// and logs its address to stderr.
+func NewCLI(name, metricsPath, debugAddr string, verbose bool) (*CLI, error) {
+	c := &CLI{Name: name, MetricsPath: metricsPath, Verbose: verbose}
+	if metricsPath != "" || debugAddr != "" || verbose {
+		c.Reg = NewRegistry()
+	}
+	if debugAddr != "" {
+		addr, err := StartDebugServer(debugAddr, c.Reg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n",
+			name, addr)
+	}
+	return c, nil
+}
+
+// Flush folds the ledger's failures into the registry, prints the -v
+// stage summary to stderr, and writes the -metrics snapshot (flagged
+// partial when the run aborted early). It is idempotent so every exit
+// path of a CLI can call it; only the first call does work. A snapshot
+// write failure is reported but does not change the exit status — the
+// telemetry must never fail a run that otherwise succeeded.
+func (c *CLI) Flush(l *resilience.Ledger, partial bool) {
+	if c == nil || c.Reg == nil || c.flushed {
+		return
+	}
+	c.flushed = true
+	FoldLedger(c.Reg, l)
+	if c.Verbose {
+		fmt.Fprint(os.Stderr, c.Reg.Summary())
+	}
+	if c.MetricsPath != "" {
+		if err := WriteSnapshotFile(c.MetricsPath, c.Reg, partial); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing metrics snapshot: %v\n", c.Name, err)
+		}
+	}
+}

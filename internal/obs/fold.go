@@ -1,0 +1,26 @@
+package obs
+
+import "repro/internal/resilience"
+
+// FoldLedger folds the resilience ledger's failure record into the
+// registry as first-class metrics, so skipped work and stage latencies
+// appear in one report:
+//
+//	failures.total              all recorded skips
+//	failures.phase.<phase>      per pipeline phase (parse, analyze, ...)
+//	failures.category.<cat>     per category (panic, budget, io)
+//
+// Call it once, after the run, before snapshotting. Nil registry or nil
+// ledger are no-ops.
+func FoldLedger(r *Registry, l *resilience.Ledger) {
+	if r == nil || l.Len() == 0 {
+		return
+	}
+	r.Counter("failures.total").Add(int64(l.Len()))
+	for phase, n := range l.ByPhase() {
+		r.Counter("failures.phase." + string(phase)).Add(int64(n))
+	}
+	for cat, n := range l.ByCategory() {
+		r.Counter("failures.category." + string(cat)).Add(int64(n))
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the introspection mux behind the -debug-addr flag:
+//
+//	/debug/vars   the live metrics snapshot as expvar-style JSON
+//	/debug/pprof  the standard pprof profiles for live profiling
+//
+// The pprof handlers are registered explicitly rather than via the
+// net/http/pprof side-effect import so nothing leaks into
+// http.DefaultServeMux.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := TakeSnapshot(r, false).Marshal()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer binds addr and serves the debug mux from a background
+// goroutine, returning the bound address (useful with ":0"). The server
+// lives for the remainder of the process; mining runs are batch jobs, so
+// there is no graceful-shutdown dance.
+func StartDebugServer(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, NewDebugMux(r)) //nolint:errcheck — dies with the process
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "time"
+
+// Span measures the wall time of one unit of work within a pipeline stage.
+// Spans are value types (no allocation) created by Registry.StartSpan and
+// closed by End; the duration aggregates into the stage's histogram
+// `span.<stage>.us` and counter `span.<stage>.count`, and the slowest task
+// per stage is remembered with its provenance label.
+//
+// A span from a nil registry is inert: End does nothing and no clock is
+// consulted.
+type Span struct {
+	reg   *Registry
+	stage string
+	label string
+	start time.Time
+}
+
+// StartSpan opens a span for the named pipeline stage. Nil-safe.
+func (r *Registry) StartSpan(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, stage: stage, start: r.now()}
+}
+
+// StartSpanTask opens a span carrying a provenance label (project, commit,
+// file) used for slowest-task attribution. Nil-safe.
+func (r *Registry) StartSpanTask(stage, label string) Span {
+	s := r.StartSpan(stage)
+	s.label = label
+	return s
+}
+
+// End closes the span, recording its duration (in microseconds) into the
+// stage histogram. Ending an inert span is a no-op.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	d := s.reg.now().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.reg.Histogram("span." + s.stage + ".us").Observe(d.Microseconds())
+	s.reg.Counter("span." + s.stage + ".count").Inc()
+	s.reg.recordSlowest(s.stage, s.label, d)
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short bench-baseline clean
+.PHONY: all build vet test race bench bench-short bench-baseline bench-compare clean
 
 all: build vet test
 
@@ -33,5 +33,11 @@ bench-short:
 bench-baseline:
 	BENCH_BASELINE_OUT=$(CURDIR)/BENCH_baseline.json $(GO) test -run TestWriteBenchBaseline -count=1 -v .
 
+# Run the pooled hot paths at 1 worker (the exact serial pipeline) and at 8
+# workers, and snapshot both timings plus the speedup ratio into
+# BENCH_parallel.json (same schema as the baseline).
+bench-compare:
+	BENCH_PARALLEL_OUT=$(CURDIR)/BENCH_parallel.json $(GO) test -run TestWriteBenchParallel -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json
+	rm -f BENCH_baseline.json BENCH_parallel.json

@@ -1,0 +1,69 @@
+package diffcode
+
+// Speedup runner for the pooled hot paths. Not a test of behavior: when
+// BENCH_PARALLEL_OUT is set it runs each pooled benchmark at 1 worker (the
+// exact serial pipeline) and at 8 workers, and writes both timings plus the
+// speedup ratio as a metrics snapshot (the same diffcode-metrics/v1 schema
+// the CLIs emit with -metrics):
+//
+//	make bench-compare         # writes BENCH_parallel.json
+//
+// Speedups only show up on multi-core hardware — the snapshot records
+// GOMAXPROCS so a flat ratio on a single-core runner is self-explaining.
+// Without the environment variable the test skips, keeping `go test ./...`
+// fast and deterministic.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// parallelWorkers is the sweep's parallel arm: the ISSUE's speedup target
+// is measured at 8 workers.
+const parallelWorkers = 8
+
+// parallelBenchmarks are the pooled hot paths. Keep this list in sync with
+// the worker-sweep benchmarks in bench_test.go.
+var parallelBenchmarks = []struct {
+	name string
+	fn   func(workers int) func(*testing.B)
+}{
+	{"mine_corpus", benchMineCorpusAt},
+	{"clustering_dist_matrix", benchDistMatrixAt},
+	{"check_corpus", benchCheckCorpusAt},
+}
+
+func TestWriteBenchParallel(t *testing.T) {
+	out := os.Getenv("BENCH_PARALLEL_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PARALLEL_OUT=<file> to write the parallel speedup snapshot")
+	}
+	reg := obs.NewRegistry()
+	reg.Gauge("bench.gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+	for _, pb := range parallelBenchmarks {
+		serial := testing.Benchmark(pb.fn(1))
+		par := testing.Benchmark(pb.fn(parallelWorkers))
+		if serial.N == 0 || par.N == 0 {
+			t.Fatalf("benchmark %s did not run", pb.name)
+		}
+		reg.Gauge("bench." + pb.name + ".workers1_ns_per_op").Set(serial.NsPerOp())
+		reg.Gauge("bench." + pb.name + ".workers8_ns_per_op").Set(par.NsPerOp())
+		// Speedup in thousandths (the schema's gauges are integers):
+		// 3000 = 3.0x faster at 8 workers than serial.
+		speedup := int64(0)
+		if par.NsPerOp() > 0 {
+			speedup = serial.NsPerOp() * 1000 / par.NsPerOp()
+		}
+		reg.Gauge("bench." + pb.name + ".speedup_milli").Set(speedup)
+		t.Logf("%-24s workers=1 %12d ns/op   workers=%d %12d ns/op   speedup %d.%03dx",
+			pb.name, serial.NsPerOp(), parallelWorkers, par.NsPerOp(),
+			speedup/1000, speedup%1000)
+	}
+	if err := obs.WriteSnapshotFile(out, reg, false); err != nil {
+		t.Fatalf("writing parallel snapshot: %v", err)
+	}
+	t.Logf("parallel speedup snapshot written to %s", out)
+}

@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
+	"repro/internal/cliutil"
 	"repro/internal/corpus"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/resilience"
 )
 
@@ -39,8 +43,10 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		workers   = cliutil.WorkersFlag()
 	)
 	flag.Parse()
+	cliutil.MustWorkers("corpusgen", *workers)
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "corpusgen: -out is required")
 		flag.Usage()
@@ -61,12 +67,17 @@ func main() {
 	run.Reg.Counter("corpusgen.commits_generated").Add(int64(c.CommitCount()))
 
 	// Each project is saved in isolation so one unwritable directory
-	// degrades the run instead of killing it.
+	// degrades the run instead of killing it. Saves for distinct projects
+	// touch disjoint directories, so they fan out across the worker pool;
+	// fail-fast/max-errors cancel further dispatch and the abort is
+	// reported once the in-flight saves drain.
 	ledger := resilience.NewLedger()
-	files, written := 0, 0
+	var files, written atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	sp = run.Reg.StartSpan("save")
-	for _, p := range c.Projects {
-		p := p
+	parallel.New(*workers, run.Reg).ForEach(ctx, len(c.Projects), func(i int) {
+		p := c.Projects[i]
 		task := "project " + p.Name
 		err := resilience.Guard(task, func() error {
 			return corpus.Save(&corpus.Corpus{Projects: []*corpus.Project{p}}, *out)
@@ -74,23 +85,25 @@ func main() {
 		if err != nil {
 			ledger.Record(resilience.NewEntry(task, resilience.PhaseLoad, err))
 			if *failFast || (*maxErr > 0 && ledger.Len() >= *maxErr) {
-				sp.End()
-				fmt.Fprint(os.Stderr, ledger.Report())
-				fmt.Fprintln(os.Stderr, "corpusgen: aborted early (fail-fast/max-errors); corpus is partial")
-				run.Flush(ledger, true)
-				os.Exit(1)
+				cancel()
 			}
-			continue
+			return
 		}
-		written++
-		files += len(p.Files)
-	}
+		written.Add(1)
+		files.Add(int64(len(p.Files)))
+	})
 	sp.End()
-	run.Reg.Counter("corpusgen.projects_written").Add(int64(written))
-	run.Reg.Counter("corpusgen.files_written").Add(int64(files))
+	if ledger.Len() > 0 && (*failFast || (*maxErr > 0 && ledger.Len() >= *maxErr)) {
+		fmt.Fprint(os.Stderr, ledger.Report())
+		fmt.Fprintln(os.Stderr, "corpusgen: aborted early (fail-fast/max-errors); corpus is partial")
+		run.Flush(ledger, true)
+		os.Exit(1)
+	}
+	run.Reg.Counter("corpusgen.projects_written").Add(written.Load())
+	run.Reg.Counter("corpusgen.files_written").Add(files.Load())
 
 	fmt.Printf("wrote %d projects (%d files, %d commits) to %s\n",
-		written, files, c.CommitCount(), *out)
+		written.Load(), files.Load(), c.CommitCount(), *out)
 	if *stats {
 		kinds := map[corpus.CommitKind]int{}
 		for _, p := range c.TrainingProjects() {

@@ -21,7 +21,9 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/androidctx"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/ruledsl"
 	"repro/internal/rules"
@@ -42,8 +44,10 @@ func main() {
 		failFast  = flag.Bool("fail-fast", false, "abort at the first unreadable input")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		workers   = cliutil.WorkersFlag()
 	)
 	flag.Parse()
+	cliutil.MustWorkers("cryptochecker", *workers)
 
 	if *list {
 		for _, r := range rules.All() {
@@ -130,10 +134,11 @@ func main() {
 	// a pathological input degrades to a partial (or failed) check instead
 	// of a crash.
 	var res *analysis.Result
+	pool := parallel.New(*workers, run.Reg)
 	sp := run.Reg.StartSpan("check")
 	err = resilience.Guard("analyze", func() error {
 		var aerr error
-		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgramObs(sources, run.Reg),
+		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgramPool(sources, run.Reg, pool),
 			analysis.Options{Budget: resilience.NewBudget(*budget, 0), Metrics: run.Reg})
 		return aerr
 	})
@@ -148,7 +153,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	violations := rules.Check(res, ctx, ruleSet)
+	violations := rules.CheckPool(res, ctx, ruleSet, pool)
 	sp.End()
 	run.Reg.Counter("checker.rules_evaluated").Add(int64(len(ruleSet)))
 	run.Reg.Counter("checker.violations").Add(int64(len(violations)))

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/change"
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -41,8 +42,10 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		workers   = cliutil.WorkersFlag()
 	)
 	flag.Parse()
+	cliutil.MustWorkers("diffcode", *workers)
 
 	run, err := obs.NewCLI("diffcode", *metrics, *debugAddr, *verbose)
 	if err != nil {
@@ -55,6 +58,7 @@ func main() {
 		MaxErrors:   *maxErrors,
 		FailFast:    *failFast,
 		Metrics:     run.Reg,
+		Workers:     *workers,
 	}
 	classes := cryptoapi.TargetClasses
 	if *class != "" {

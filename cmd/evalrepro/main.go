@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
@@ -68,9 +69,11 @@ func main() {
 		failFast  = flag.Bool("fail-fast", false, "abort analysis at the first skipped change")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		workers   = cliutil.WorkersFlag()
 	)
 	flag.StringVar(&outDir, "out", "", "also write each figure to <out>/figureN.txt")
 	flag.Parse()
+	cliutil.MustWorkers("evalrepro", *workers)
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
@@ -92,6 +95,7 @@ func main() {
 		MaxErrors:   *maxErr,
 		FailFast:    *failFast,
 		Metrics:     run.Reg,
+		Workers:     *workers,
 	}
 
 	start := time.Now()

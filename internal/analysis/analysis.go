@@ -11,6 +11,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/javaast"
 	"repro/internal/javaparser"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/resilience"
 )
 
@@ -74,6 +76,17 @@ func ParseProgram(sources map[string]string) *Program {
 // recovered syntax errors are counted into reg (nil reg is a no-op, making
 // this identical to ParseProgram).
 func ParseProgramObs(sources map[string]string, reg *obs.Registry) *Program {
+	return ParseProgramPool(sources, reg, nil)
+}
+
+// ParseProgramPool is ParseProgramObs over a worker pool: each file parses
+// on its own worker, with results assembled into the sorted-name slot order
+// the serial parser produces — so the Program (and all telemetry, which is
+// sum-based) is identical at any worker count. A nil or one-worker pool is
+// the exact serial path. The abstract interpretation downstream stays
+// single-goroutine (budgets are single-goroutine by contract); only the
+// per-file parse fans out.
+func ParseProgramPool(sources map[string]string, reg *obs.Registry, pool *parallel.Pool) *Program {
 	names := make([]string, 0, len(sources))
 	for n := range sources {
 		if dot := strings.LastIndexByte(n, '.'); dot >= 0 && !strings.HasSuffix(n, ".java") {
@@ -82,13 +95,17 @@ func ParseProgramObs(sources map[string]string, reg *obs.Registry) *Program {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	p := &Program{}
+	p := &Program{Files: make([]File, len(names))}
+	errCounts := make([]int64, len(names))
 	var bytes, parseErrs int64
-	for _, n := range names {
-		res := javaparser.Parse(sources[n])
+	pool.ForEach(context.Background(), len(names), func(i int) {
+		res := javaparser.Parse(sources[names[i]])
+		p.Files[i] = File{Name: names[i], Unit: res.Unit}
+		errCounts[i] = int64(len(res.Errors))
+	})
+	for i, n := range names {
 		bytes += int64(len(sources[n]))
-		parseErrs += int64(len(res.Errors))
-		p.Files = append(p.Files, File{Name: n, Unit: res.Unit})
+		parseErrs += errCounts[i]
 	}
 	if reg != nil {
 		reg.Counter("parse.files").Add(int64(len(names)))

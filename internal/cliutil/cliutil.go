@@ -1,0 +1,42 @@
+// Package cliutil holds the small helpers shared by the four command-line
+// front-ends (diffcode, evalrepro, cryptochecker, corpusgen), so flags with
+// cross-tool contracts are registered and validated in exactly one place
+// instead of four drifting copies.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// WorkersFlag registers the uniform -workers flag on the default flag set:
+// same name, default (GOMAXPROCS), and help text in every CLI. Parse the
+// flags, then pass the value through MustWorkers.
+func WorkersFlag() *int {
+	return flag.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel workers for analysis, clustering, and checking (1 = serial; default GOMAXPROCS)")
+}
+
+// ValidateWorkers checks a -workers value: every worker pool needs at least
+// one worker, so N < 1 is a usage error (0 does not mean "auto" at the CLI
+// — the auto default is already the flag's default value).
+func ValidateWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-workers must be at least 1 (got %d)", n)
+	}
+	return nil
+}
+
+// MustWorkers validates a parsed -workers value for the named tool,
+// printing a usage error and exiting with status 2 (the CLIs' usage-error
+// convention) when it is invalid. Returns the value unchanged otherwise.
+func MustWorkers(tool string, n int) int {
+	if err := ValidateWorkers(n); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	return n
+}

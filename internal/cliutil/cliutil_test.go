@@ -1,0 +1,25 @@
+package cliutil
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 8, runtime.GOMAXPROCS(0)} {
+		if err := ValidateWorkers(n); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -8} {
+		if err := ValidateWorkers(n); err == nil {
+			t.Errorf("ValidateWorkers(%d) = nil, want error", n)
+		}
+	}
+}
+
+func TestMustWorkersPassesValidValue(t *testing.T) {
+	if got := MustWorkers("test", 3); got != 3 {
+		t.Errorf("MustWorkers(3) = %d, want 3", got)
+	}
+}

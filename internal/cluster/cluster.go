@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,7 +15,21 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/textdist"
+)
+
+// Parallelization thresholds: below these sizes the chunked fan-out costs
+// more than the loop it splits, so the serial path runs regardless of the
+// pool's worker count. Output is identical either way (the parallel paths
+// are deterministic), so the cutoffs are pure tuning knobs.
+const (
+	// minParallelMatrixRows gates row-chunked distance-matrix construction.
+	minParallelMatrixRows = 8
+	// minParallelScan gates the chunked min-pair scan and row updates of
+	// one agglomeration step (an O(active²) and O(active) loop of cheap
+	// float compares; only large fronts amortize the fan-out).
+	minParallelScan = 64
 )
 
 // Linkage selects how inter-cluster distance is computed.
@@ -73,19 +88,39 @@ func DistMatrix(changes []change.UsageChange) [][]float64 {
 // DistMatrixObs is DistMatrix with telemetry: every pairwise UsageDist
 // evaluation is counted into reg (nil reg is a no-op).
 func DistMatrixObs(changes []change.UsageChange, reg *obs.Registry) [][]float64 {
+	return DistMatrixPool(changes, reg, nil)
+}
+
+// DistMatrixPool is DistMatrixObs over a worker pool: the strict upper
+// triangle is split into row chunks balanced by pair count (row i owns
+// n-1-i pairs) and computed concurrently. Each pair (i, j) is owned by
+// exactly one chunk, which writes both d[i][j] and d[j][i], so chunks
+// never touch the same cell and the result is identical to the serial
+// matrix at any worker count. A nil or one-worker pool runs serially.
+func DistMatrixPool(changes []change.UsageChange, reg *obs.Registry, p *parallel.Pool) [][]float64 {
 	n := len(changes)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dist := textdist.UsageDist(
-				changes[i].Removed, changes[i].Added,
-				changes[j].Removed, changes[j].Added)
-			d[i][j] = dist
-			d[j][i] = dist
+	fillRows := func(r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			for j := i + 1; j < n; j++ {
+				dist := textdist.UsageDist(
+					changes[i].Removed, changes[i].Added,
+					changes[j].Removed, changes[j].Added)
+				d[i][j] = dist
+				d[j][i] = dist
+			}
 		}
+	}
+	if !p.Serial() && n >= minParallelMatrixRows {
+		// More chunks than workers so a stray expensive row doesn't leave
+		// the other workers idle at the tail.
+		chunks := parallel.TriangleChunks(n, p.Workers()*4)
+		p.ForEach(context.Background(), len(chunks), func(ci int) { fillRows(chunks[ci]) })
+	} else {
+		fillRows(parallel.Range{Lo: 0, Hi: n})
 	}
 	reg.Counter("cluster.dist_computations").Add(int64(n) * int64(n-1) / 2)
 	return d
@@ -100,7 +135,14 @@ func Agglomerate(changes []change.UsageChange, linkage Linkage) *Node {
 // AgglomerateObs is Agglomerate with telemetry: distance computations,
 // merge iterations, and candidate-pair scans are counted into reg.
 func AgglomerateObs(changes []change.UsageChange, linkage Linkage, reg *obs.Registry) *Node {
-	return AgglomerateMatrixObs(DistMatrixObs(changes, reg), linkage, reg)
+	return AgglomeratePool(changes, linkage, reg, nil)
+}
+
+// AgglomeratePool is AgglomerateObs over a worker pool: both the distance
+// matrix and the per-merge scans/updates run row-chunked. The dendrogram is
+// identical at any worker count (see AgglomerateMatrixPool).
+func AgglomeratePool(changes []change.UsageChange, linkage Linkage, reg *obs.Registry, p *parallel.Pool) *Node {
+	return AgglomerateMatrixPool(DistMatrixPool(changes, reg, p), linkage, reg, p)
 }
 
 // AgglomerateMatrix clusters from a precomputed distance matrix.
@@ -111,6 +153,54 @@ func AgglomerateMatrix(dist [][]float64, linkage Linkage) *Node {
 
 // AgglomerateMatrixObs is AgglomerateMatrix with merge-iteration telemetry.
 func AgglomerateMatrixObs(dist [][]float64, linkage Linkage, reg *obs.Registry) *Node {
+	return AgglomerateMatrixPool(dist, linkage, reg, nil)
+}
+
+// minCand is one chunk's best merge candidate: the smallest distance seen,
+// tie-broken on the smallest (i, j) in row-major order — the same rule the
+// serial scan applies, which is what makes the parallel reduction exact.
+type minCand struct {
+	best   float64
+	bi, bj int
+}
+
+// better reports whether c beats cur under the serial scan's ordering:
+// strictly smaller distance wins; an equal distance never displaces an
+// earlier (row-major smaller) pair.
+func (c minCand) better(cur minCand) bool { return c.bi >= 0 && c.best < cur.best }
+
+// scanRows finds the minimum active pair with i in [r.Lo, r.Hi), scanning
+// in the serial loop's row-major order.
+func scanRows(d [][]float64, active []bool, r parallel.Range) minCand {
+	n := len(d)
+	c := minCand{best: math.MaxFloat64, bi: -1, bj: -1}
+	for i := r.Lo; i < r.Hi; i++ {
+		if !active[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if !active[j] {
+				continue
+			}
+			if d[i][j] < c.best {
+				c.best = d[i][j]
+				c.bi, c.bj = i, j
+			}
+		}
+	}
+	return c
+}
+
+// AgglomerateMatrixPool is AgglomerateMatrixObs over a worker pool. Each
+// merge iteration splits the candidate-pair scan and the Lance-Williams
+// row update into row chunks. Determinism: every chunk applies the serial
+// scan's strict-< tie-break, chunk results are reduced in row order (an
+// equal minimum never displaces an earlier chunk's candidate), and the row
+// update writes disjoint cells per k — so the merge order, heights, and
+// dendrogram shape are byte-identical to the serial algorithm at any
+// worker count. A nil or one-worker pool (or a small active front) runs
+// the serial loops unchanged.
+func AgglomerateMatrixPool(dist [][]float64, linkage Linkage, reg *obs.Registry, p *parallel.Pool) *Node {
 	n := len(dist)
 	if n == 0 {
 		return nil
@@ -128,44 +218,56 @@ func AgglomerateMatrixObs(dist [][]float64, linkage Linkage, reg *obs.Registry) 
 	for i := range active {
 		active[i] = true
 	}
+	par := !p.Serial() && n >= minParallelScan
+	ctx := context.Background()
 	remaining := n
 	for remaining > 1 {
-		bi, bj := -1, -1
-		best := math.MaxFloat64
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if !active[j] {
-					continue
-				}
-				if d[i][j] < best {
-					best = d[i][j]
-					bi, bj = i, j
+		// Find the closest active pair: chunked local minima reduced in row
+		// order, or the plain serial scan below the parallel threshold.
+		cand := minCand{best: math.MaxFloat64, bi: -1, bj: -1}
+		if par && remaining >= minParallelScan {
+			chunks := parallel.TriangleChunks(n, p.Workers()*4)
+			for _, c := range parallel.Map(p, ctx, len(chunks), func(ci int) minCand {
+				return scanRows(d, active, chunks[ci])
+			}) {
+				if c.better(cand) {
+					cand = c
 				}
 			}
+		} else {
+			cand = scanRows(d, active, parallel.Range{Lo: 0, Hi: n})
 		}
+		bi, bj, best := cand.bi, cand.bj, cand.best
 		merged := &Node{Item: -1, Left: nodes[bi], Right: nodes[bj],
 			Height: best, size: nodes[bi].size + nodes[bj].size}
-		// Lance-Williams update into slot bi; retire bj.
-		for k := 0; k < n; k++ {
-			if !active[k] || k == bi || k == bj {
-				continue
+		// Lance-Williams update into slot bi; retire bj. Every k writes only
+		// d[k][bi] and d[bi][k] — disjoint cells across k — so the chunked
+		// update is race-free and order-independent.
+		update := func(r parallel.Range) {
+			for k := r.Lo; k < r.Hi; k++ {
+				if !active[k] || k == bi || k == bj {
+					continue
+				}
+				var nd float64
+				switch linkage {
+				case Complete:
+					nd = math.Max(d[k][bi], d[k][bj])
+				case Single:
+					nd = math.Min(d[k][bi], d[k][bj])
+				case Average:
+					si := float64(nodes[bi].size)
+					sj := float64(nodes[bj].size)
+					nd = (si*d[k][bi] + sj*d[k][bj]) / (si + sj)
+				}
+				d[k][bi] = nd
+				d[bi][k] = nd
 			}
-			var nd float64
-			switch linkage {
-			case Complete:
-				nd = math.Max(d[k][bi], d[k][bj])
-			case Single:
-				nd = math.Min(d[k][bi], d[k][bj])
-			case Average:
-				si := float64(nodes[bi].size)
-				sj := float64(nodes[bj].size)
-				nd = (si*d[k][bi] + sj*d[k][bj]) / (si + sj)
-			}
-			d[k][bi] = nd
-			d[bi][k] = nd
+		}
+		if par && remaining >= minParallelScan {
+			chunks := parallel.Chunks(n, p.Workers()*2)
+			p.ForEach(ctx, len(chunks), func(ci int) { update(chunks[ci]) })
+		} else {
+			update(parallel.Range{Lo: 0, Hi: n})
 		}
 		nodes[bi] = merged
 		active[bj] = false

@@ -5,9 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +18,7 @@ import (
 	"repro/internal/cryptoapi"
 	"repro/internal/mining"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/rules"
 	"repro/internal/usage"
@@ -31,7 +32,11 @@ type Options struct {
 	Analysis analysis.Options
 	// MinCommits filters toy projects during mining (paper: 30).
 	MinCommits int
-	// Workers caps the parallel analysis fan-out (default: NumCPU).
+	// Workers sizes the worker pool behind batch analysis, clustering, and
+	// checking (default: GOMAXPROCS). Workers == 1 is the exact serial
+	// path: no goroutines, no pool telemetry, byte-identical output to the
+	// single-threaded pipeline. Any worker count produces identical results
+	// (the parallel layer is deterministic); only wall-clock time changes.
 	Workers int
 	// BudgetSteps caps the abstract-interpretation steps spent on one mined
 	// change (both versions share the budget); 0 means unlimited. Changes
@@ -54,12 +59,17 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
+// pool builds the worker pool the pipeline's batch stages dispatch onto.
+// A fresh pool is a cheap two-word struct; the workers themselves only
+// exist while a batch is in flight.
+func (o Options) pool() *parallel.Pool { return parallel.New(o.Workers, o.Metrics) }
+
 func (o Options) withDefaults() Options {
 	if o.Depth <= 0 {
 		o.Depth = usage.DefaultDepth
 	}
 	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Analysis.Metrics == nil {
 		o.Analysis.Metrics = o.Metrics
@@ -198,42 +208,31 @@ func (d *DiffCode) record(cc mining.CodeChange, phase resilience.Phase, err erro
 	d.ledger.Record(e)
 }
 
-// AnalyzeAll analyzes a batch of code changes in parallel, preserving
-// input order. Failing changes are skipped and recorded in the ledger,
-// leaving a nil slot at their index; Options.FailFast and
-// Options.MaxErrors abort the remainder of the batch early.
+// AnalyzeAll analyzes a batch of code changes on the pipeline's worker
+// pool, preserving input order (slot i holds change i — the pool's ordered
+// fan-in). Failing changes are skipped and recorded in the ledger, leaving
+// a nil slot at their index; Options.FailFast and Options.MaxErrors abort
+// the remainder of the batch via cooperative cancellation (no new change is
+// dispatched once the failure threshold is reached; in-flight changes
+// finish and keep their slots). Workers == 1 runs the exact serial path.
 func (d *DiffCode) AnalyzeAll(ccs []mining.CodeChange) []*AnalyzedChange {
 	d.opts.Metrics.Gauge("pipeline.workers").Set(int64(d.opts.Workers))
 	out := make([]*AnalyzedChange, len(ccs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, d.opts.Workers)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var failures atomic.Int64
-	var stopped atomic.Bool
-	for i := range ccs {
-		if stopped.Load() {
-			break
+	d.opts.pool().ForEach(ctx, len(ccs), func(i int) {
+		a, phase, err := d.analyzeChange(ccs[i])
+		if err != nil {
+			d.record(ccs[i], phase, err)
+			n := failures.Add(1)
+			if d.opts.FailFast || (d.opts.MaxErrors > 0 && n >= int64(d.opts.MaxErrors)) {
+				cancel()
+			}
+			return
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if stopped.Load() {
-				return
-			}
-			a, phase, err := d.analyzeChange(ccs[i])
-			if err != nil {
-				d.record(ccs[i], phase, err)
-				n := failures.Add(1)
-				if d.opts.FailFast || (d.opts.MaxErrors > 0 && n >= int64(d.opts.MaxErrors)) {
-					stopped.Store(true)
-				}
-				return
-			}
-			out[i] = a
-		}(i)
-	}
-	wg.Wait()
+		out[i] = a
+	})
 	return out
 }
 
@@ -301,10 +300,12 @@ func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipel
 }
 
 // ClusterChanges builds the dendrogram over semantic usage changes
-// (complete linkage, per the paper).
+// (complete linkage, per the paper). The distance matrix and the per-merge
+// scans run row-chunked on the pipeline's worker pool; the dendrogram is
+// identical at any worker count.
 func (d *DiffCode) ClusterChanges(changes []change.UsageChange) *cluster.Node {
 	sp := d.opts.Metrics.StartSpan("cluster")
-	root := cluster.AgglomerateObs(changes, cluster.Complete, d.opts.Metrics)
+	root := cluster.AgglomeratePool(changes, cluster.Complete, d.opts.Metrics, d.opts.pool())
 	sp.End()
 	return root
 }
@@ -328,12 +329,16 @@ func NewChecker(ruleSet []*rules.Rule, opts Options) *CryptoChecker {
 }
 
 // CheckSources analyzes the given files as one program and reports all rule
-// violations.
+// violations. The per-file parse and the per-rule evaluation fan out on the
+// checker's worker pool (the abstract interpretation between them analyzes
+// the whole program and stays single-goroutine); violations come back in
+// the stable rule-set order regardless of worker count.
 func (c *CryptoChecker) CheckSources(sources map[string]string, ctx rules.Context) []rules.Violation {
 	reg := c.opts.Metrics
+	pool := c.opts.pool()
 	sp := reg.StartSpan("check")
-	res := analysis.Analyze(analysis.ParseProgramObs(sources, reg), c.opts.Analysis)
-	violations := rules.Check(res, ctx, c.Rules)
+	res := analysis.Analyze(analysis.ParseProgramPool(sources, reg, pool), c.opts.Analysis)
+	violations := rules.CheckPool(res, ctx, c.Rules, pool)
 	sp.End()
 	reg.Counter("checker.programs").Inc()
 	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/cryptoapi"
+)
+
+// The determinism suite pins the PR's central contract: every result a user
+// can observe — mined changes, filter stats, survivors, dendrograms, checker
+// violations — is byte-identical at any -workers value. CI runs these under
+// -race at -cpu=1,4 (the names all match -run 'Determinism').
+
+func determinismCorpus() *corpus.Corpus {
+	return corpus.Generate(corpus.Config{Seed: 7, Scale: 0.4, Projects: 20, ExtraProjects: 3})
+}
+
+// pipelineFingerprint runs the full mining pipeline at the given worker
+// count and serializes everything observable about the result.
+func pipelineFingerprint(t *testing.T, c *corpus.Corpus, workers int) string {
+	t.Helper()
+	var sb strings.Builder
+	d := New(Options{Workers: workers})
+	analyzed := d.MineCorpus(c)
+	fmt.Fprintf(&sb, "analyzed=%d\n", len(analyzed))
+	for i, a := range analyzed {
+		if a == nil {
+			fmt.Fprintf(&sb, "[%d] nil\n", i)
+			continue
+		}
+		fmt.Fprintf(&sb, "[%d] %s@%s:%s kind=%v old=%s new=%s\n",
+			i, a.Meta.Project, a.Meta.Commit, a.Meta.File, a.Kind,
+			sortedKeys(a.UsesOld), sortedKeys(a.UsesNew))
+	}
+	for _, class := range cryptoapi.TargetClasses {
+		r := d.RunClass(analyzed, class)
+		fmt.Fprintf(&sb, "%s stats=%+v\n", class, r.Stats)
+		for _, uc := range r.Survivors {
+			fmt.Fprintf(&sb, "  survivor [%s %s] %s\n", uc.Meta.Project, uc.Meta.Commit, uc.String())
+		}
+		if len(r.Survivors) > 1 {
+			root := d.ClusterChanges(r.Survivors)
+			sb.WriteString(cluster.Render(root, func(i int) string {
+				return r.Survivors[i].Meta.Commit
+			}))
+		}
+	}
+	fmt.Fprintf(&sb, "ledger=%d\n", d.Ledger().Len())
+	return sb.String()
+}
+
+func sortedKeys(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// TestDeterminismMiningPipeline asserts MineCorpus + RunClass +
+// ClusterChanges produce identical results at workers 1, 2, and 8.
+func TestDeterminismMiningPipeline(t *testing.T) {
+	c := determinismCorpus()
+	want := pipelineFingerprint(t, c, 1)
+	if !strings.Contains(want, "survivor") {
+		t.Fatalf("corpus produced no survivors; fingerprint exercises too little")
+	}
+	for _, w := range []int{2, 8} {
+		if got := pipelineFingerprint(t, c, w); got != want {
+			t.Errorf("workers=%d: pipeline fingerprint differs from workers=1\ngot:\n%.800s\nwant:\n%.800s", w, got, want)
+		}
+	}
+}
+
+// checkerFingerprint runs CheckProject over every project at the given
+// worker count and serializes the violations in report order.
+func checkerFingerprint(c *corpus.Corpus, workers int) string {
+	var sb strings.Builder
+	checker := NewChecker(nil, Options{Workers: workers})
+	for _, p := range c.Projects {
+		fmt.Fprintf(&sb, "%s:\n", p.Name)
+		for _, v := range checker.CheckProject(p) {
+			fmt.Fprintf(&sb, "  %s", v.Rule.ID)
+			for _, o := range v.Objs {
+				fmt.Fprintf(&sb, " %s@%d", o.SiteLabel(), o.Site.Line)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// TestDeterminismCheckSources asserts the checker's violation list — rule
+// order and witness order — is identical at workers 1, 2, and 8.
+func TestDeterminismCheckSources(t *testing.T) {
+	c := determinismCorpus()
+	want := checkerFingerprint(c, 1)
+	if !strings.Contains(want, "R") {
+		t.Fatalf("no violations found; fingerprint exercises too little")
+	}
+	for _, w := range []int{2, 8} {
+		if got := checkerFingerprint(c, w); got != want {
+			t.Errorf("workers=%d: checker fingerprint differs from workers=1", w)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/rules"
 	"repro/internal/usage"
@@ -320,8 +322,9 @@ func (e *Evaluation) Figure10() *Figure10Result {
 }
 
 // CheckCorpus evaluates the 13 rules over all project snapshots of a
-// corpus (training + held-out), in parallel. Forks are excluded, as in the
-// paper's project selection (§6.1: "excluding forks").
+// corpus (training + held-out) on the worker pool (one project per task,
+// ordered fan-in). Forks are excluded, as in the paper's project selection
+// (§6.1: "excluding forks").
 func CheckCorpus(c *corpus.Corpus, opts Options) *Figure10Result {
 	opts = opts.withDefaults()
 	all := rules.All()
@@ -335,30 +338,21 @@ func CheckCorpus(c *corpus.Corpus, opts Options) *Figure10Result {
 		applicable map[string]bool
 		matching   map[string]bool
 	}
-	outcomes := make([]projOutcome, len(projects))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i, p := range projects {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, p *corpus.Project) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res := analysis.Analyze(analysis.ParseProgram(p.Files), opts.Analysis)
-			ctx := ContextOf(p)
-			o := projOutcome{applicable: map[string]bool{}, matching: map[string]bool{}}
-			for _, r := range all {
-				if r.Applicable(res, ctx) {
-					o.applicable[r.ID] = true
-				}
-				if ok, _ := r.Matches(res, ctx); ok {
-					o.matching[r.ID] = true
-				}
+	outcomes := parallel.Map(opts.pool(), context.Background(), len(projects), func(i int) projOutcome {
+		p := projects[i]
+		res := analysis.Analyze(analysis.ParseProgram(p.Files), opts.Analysis)
+		ctx := ContextOf(p)
+		o := projOutcome{applicable: map[string]bool{}, matching: map[string]bool{}}
+		for _, r := range all {
+			if r.Applicable(res, ctx) {
+				o.applicable[r.ID] = true
 			}
-			outcomes[i] = o
-		}(i, p)
-	}
-	wg.Wait()
+			if ok, _ := r.Matches(res, ctx); ok {
+				o.matching[r.ID] = true
+			}
+		}
+		return o
+	})
 	res := &Figure10Result{Projects: len(projects)}
 	for _, r := range all {
 		row := Figure10Row{Rule: r.ID}

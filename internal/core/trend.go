@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/corpus"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/rules"
 )
@@ -59,33 +60,24 @@ func Trend(c *corpus.Corpus, opts Options) *TrendResult {
 	type outcome struct {
 		initial, final map[string]bool
 	}
-	outcomes := make([]outcome, len(projects))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i, p := range projects {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, p *corpus.Project) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ctx := ContextOf(p)
-			match := func(files map[string]string) map[string]bool {
-				r := analysis.Analyze(analysis.ParseProgram(files), opts.Analysis)
-				hits := map[string]bool{}
-				for _, rule := range all {
-					if ok, _ := rule.Matches(r, ctx); ok {
-						hits[rule.ID] = true
-					}
+	outcomes := parallel.Map(opts.pool(), context.Background(), len(projects), func(i int) outcome {
+		p := projects[i]
+		ctx := ContextOf(p)
+		match := func(files map[string]string) map[string]bool {
+			r := analysis.Analyze(analysis.ParseProgram(files), opts.Analysis)
+			hits := map[string]bool{}
+			for _, rule := range all {
+				if ok, _ := rule.Matches(r, ctx); ok {
+					hits[rule.ID] = true
 				}
-				return hits
 			}
-			outcomes[i] = outcome{
-				initial: match(initialSnapshot(p)),
-				final:   match(p.Files),
-			}
-		}(i, p)
-	}
-	wg.Wait()
+			return hits
+		}
+		return outcome{
+			initial: match(initialSnapshot(p)),
+			final:   match(p.Files),
+		}
+	})
 	for _, o := range outcomes {
 		for id := range o.initial {
 			res.InitialMatching[id]++

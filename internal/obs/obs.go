@@ -58,6 +58,16 @@ func NewRegistryClock(now func() time.Time) *Registry {
 	}
 }
 
+// Now reads the registry's clock (the wall clock on a nil registry). The
+// parallel worker pool times tasks through this accessor so per-task
+// latencies honor the injectable test clock exactly like spans do.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Now()
+	}
+	return r.now()
+}
+
 // Counter returns the named counter, creating it on first use. On a nil
 // registry it returns nil, which is a valid no-op counter.
 func (r *Registry) Counter(name string) *Counter {

@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// TestSerialPathInline: a one-worker pool (and the nil pool) runs every
+// task inline, in order, on the calling goroutine.
+func TestSerialPathInline(t *testing.T) {
+	for _, p := range []*Pool{nil, New(1, nil), {}} {
+		var order []int
+		p.ForEach(context.Background(), 5, func(i int) { order = append(order, i) })
+		if len(order) != 5 {
+			t.Fatalf("ran %d tasks, want 5", len(order))
+		}
+		for i, got := range order {
+			if got != i {
+				t.Errorf("task %d ran at position %d; serial path must be in order", got, i)
+			}
+		}
+		if !p.Serial() {
+			t.Error("pool with one worker must report Serial()")
+		}
+	}
+}
+
+// TestOrderedFanIn: Map returns results at their index even when tasks
+// complete wildly out of order (early tasks sleep longest).
+func TestOrderedFanIn(t *testing.T) {
+	p := New(4, nil)
+	const n = 16
+	out := Map(p, context.Background(), n, func(i int) int {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return i * i
+	})
+	if len(out) != n {
+		t.Fatalf("Map returned %d results, want %d", len(out), n)
+	}
+	for i, got := range out {
+		if got != i*i {
+			t.Errorf("slot %d = %d, want %d (fan-in not ordered)", i, got, i*i)
+		}
+	}
+}
+
+// TestCancellationMidQueue: once ctx is cancelled, no new index is
+// dispatched. All four workers rendezvous on their first task, the context
+// is cancelled while they are parked, and exactly those four tasks run.
+func TestCancellationMidQueue(t *testing.T) {
+	const workers, n = 4, 100
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran [n]atomic.Bool
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	release := make(chan struct{})
+	var once sync.Once
+	go func() {
+		barrier.Wait() // all workers hold a task
+		cancel()
+		once.Do(func() { close(release) })
+	}()
+	New(workers, nil).ForEach(ctx, n, func(i int) {
+		ran[i].Store(true)
+		barrier.Done()
+		<-release
+	})
+	got := 0
+	for i := range ran {
+		if ran[i].Load() {
+			got++
+		}
+	}
+	if got != workers {
+		t.Errorf("%d tasks ran after mid-queue cancel, want exactly %d (the in-flight window)", got, workers)
+	}
+	for i := workers; i < n; i++ {
+		if ran[i].Load() {
+			t.Errorf("task %d dispatched after cancellation", i)
+		}
+	}
+}
+
+// TestSerialCancellation: the inline path honors cancellation between
+// tasks with the same no-new-dispatch semantics.
+func TestSerialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []int
+	New(1, nil).ForEach(ctx, 10, func(i int) {
+		ran = append(ran, i)
+		if i == 3 {
+			cancel()
+		}
+	})
+	if len(ran) != 4 {
+		t.Errorf("serial cancel ran %v, want [0 1 2 3]", ran)
+	}
+}
+
+// TestGuardedPanicReachesLedger: the pipeline's panic-isolation contract
+// composes with the pool — a panicking task wrapped in resilience.Guard
+// records a ledger entry and the pool completes every other task.
+func TestGuardedPanicReachesLedger(t *testing.T) {
+	ledger := resilience.NewLedger()
+	const n = 20
+	var done atomic.Int64
+	New(4, nil).ForEach(context.Background(), n, func(i int) {
+		err := resilience.Guard("task", func() error {
+			if i == 7 {
+				panic("worker chaos")
+			}
+			return nil
+		})
+		if err != nil {
+			ledger.Record(resilience.NewEntry("task", resilience.PhaseAnalyze, err))
+			return
+		}
+		done.Add(1)
+	})
+	if got := done.Load(); got != n-1 {
+		t.Errorf("completed %d tasks, want %d", got, n-1)
+	}
+	if ledger.Len() != 1 {
+		t.Fatalf("ledger has %d entries, want 1:\n%s", ledger.Len(), ledger.Report())
+	}
+	if e := ledger.Entries()[0]; e.Category != resilience.CatPanic {
+		t.Errorf("entry category %q, want panic", e.Category)
+	}
+}
+
+// TestUnguardedPanicRethrown: a panic that escapes a task does not crash
+// the worker goroutine or deadlock the pool — it drains and re-raises the
+// panic on the caller, matching serial-loop semantics.
+func TestUnguardedPanicRethrown(t *testing.T) {
+	var completed atomic.Int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("escaped panic was swallowed by the pool")
+		}
+		if r != "unguarded" {
+			t.Errorf("recovered %v, want \"unguarded\"", r)
+		}
+		if got := completed.Load(); got != 11 {
+			t.Errorf("pool completed %d other tasks before re-raising, want 11 (it must drain)", got)
+		}
+	}()
+	New(4, nil).ForEach(context.Background(), 12, func(i int) {
+		if i == 2 {
+			panic("unguarded")
+		}
+		completed.Add(1)
+	})
+}
+
+// TestPoolMetrics: a multi-worker run records pool.* telemetry (task
+// latencies, busy time, worker gauge); the serial path records none.
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	New(3, reg).ForEach(context.Background(), 9, func(i int) {})
+	if got := reg.Counter("pool.tasks").Value(); got != 9 {
+		t.Errorf("pool.tasks = %d, want 9", got)
+	}
+	if got := reg.Gauge("pool.workers").Value(); got != 3 {
+		t.Errorf("pool.workers = %d, want 3", got)
+	}
+	if got := reg.Histogram("pool.task.us").Count(); got != 9 {
+		t.Errorf("pool.task.us count = %d, want 9", got)
+	}
+	if got := reg.Histogram("pool.busy.us").Count(); got != 3 {
+		t.Errorf("pool.busy.us count = %d, want one observation per worker, 3", got)
+	}
+	if got := reg.Gauge("pool.queue_depth").Value(); got != 0 {
+		t.Errorf("pool.queue_depth = %d at drain, want 0", got)
+	}
+
+	serial := obs.NewRegistry()
+	New(1, serial).ForEach(context.Background(), 9, func(i int) {})
+	if got := serial.Counter("pool.tasks").Value(); got != 0 {
+		t.Errorf("serial path recorded %d pool tasks, want 0 (exact serial path)", got)
+	}
+}
+
+// TestMapZeroAndNegative: degenerate sizes are no-ops.
+func TestMapZeroAndNegative(t *testing.T) {
+	p := New(4, nil)
+	if out := Map(p, context.Background(), 0, func(i int) int { return 1 }); len(out) != 0 {
+		t.Errorf("Map over 0 items returned %d results", len(out))
+	}
+	p.ForEach(context.Background(), -3, func(i int) { t.Error("task ran for negative n") })
+}

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChunksPartition: chunks exactly tile [0, n) in order, with no empty
+// or overlapping ranges, for a sweep of (n, k).
+func TestChunksPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 100, 101} {
+		for _, k := range []int{0, 1, 2, 4, 8, 100, 200} {
+			chunks := Chunks(n, k)
+			if n == 0 {
+				if chunks != nil {
+					t.Errorf("Chunks(0, %d) = %v, want nil", k, chunks)
+				}
+				continue
+			}
+			lo := 0
+			for _, c := range chunks {
+				if c.Lo != lo || c.Hi <= c.Lo {
+					t.Fatalf("Chunks(%d, %d): bad range %+v at lo=%d", n, k, c, lo)
+				}
+				lo = c.Hi
+			}
+			if lo != n {
+				t.Errorf("Chunks(%d, %d) covers [0, %d), want [0, %d)", n, k, lo, n)
+			}
+			wantLen := k
+			if k < 1 {
+				wantLen = 1
+			}
+			if k > n {
+				wantLen = n
+			}
+			if len(chunks) != wantLen {
+				t.Errorf("Chunks(%d, %d) has %d chunks, want %d", n, k, len(chunks), wantLen)
+			}
+			// Near-equal: sizes differ by at most one.
+			min, max := n, 0
+			for _, c := range chunks {
+				if c.Len() < min {
+					min = c.Len()
+				}
+				if c.Len() > max {
+					max = c.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("Chunks(%d, %d) sizes span [%d, %d], want near-equal", n, k, min, max)
+			}
+		}
+	}
+}
+
+// TestTriangleChunksPartitionAndBalance: row ranges tile [0, n), and the
+// per-chunk pair counts are balanced (every chunk within 2× of the ideal
+// share plus one row's worth of slack — row granularity bounds precision).
+func TestTriangleChunksPartitionAndBalance(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 10, 64, 257} {
+		for _, k := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("n%d_k%d", n, k), func(t *testing.T) {
+				chunks := TriangleChunks(n, k)
+				if n == 0 {
+					if chunks != nil {
+						t.Fatalf("want nil for n=0, got %v", chunks)
+					}
+					return
+				}
+				lo := 0
+				totalPairs := 0
+				for _, c := range chunks {
+					if c.Lo != lo || c.Hi <= c.Lo {
+						t.Fatalf("bad range %+v at lo=%d", c, lo)
+					}
+					pairs := 0
+					for i := c.Lo; i < c.Hi; i++ {
+						pairs += n - 1 - i
+					}
+					// No chunk may hoard: its share stays within the ideal
+					// share plus the largest single row (row granularity).
+					ideal := n * (n - 1) / 2 / k
+					if pairs > ideal+n {
+						t.Errorf("chunk %+v owns %d pairs; ideal share %d (+%d row slack)", c, pairs, ideal, n)
+					}
+					totalPairs += pairs
+					lo = c.Hi
+				}
+				if lo != n {
+					t.Errorf("chunks cover [0, %d), want [0, %d)", lo, n)
+				}
+				if want := n * (n - 1) / 2; totalPairs != want {
+					t.Errorf("chunks own %d pairs total, want %d", totalPairs, want)
+				}
+			})
+		}
+	}
+}
+
+// TestTriangleChunksDeterministic: the same (n, k) always yields the same
+// split — the property the clustering determinism suite leans on.
+func TestTriangleChunksDeterministic(t *testing.T) {
+	a := TriangleChunks(101, 7)
+	b := TriangleChunks(101, 7)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic chunk count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("chunk %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -8,11 +8,13 @@
 package rules
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/absdom"
 	"repro/internal/analysis"
 	"repro/internal/cryptoapi"
+	"repro/internal/parallel"
 )
 
 // Context carries project-level facts that some rules depend on. For rule
@@ -129,10 +131,26 @@ type Violation struct {
 
 // Check runs a rule set over a program (CryptoChecker).
 func Check(res *analysis.Result, ctx Context, ruleSet []*Rule) []Violation {
+	return CheckPool(res, ctx, ruleSet, nil)
+}
+
+// CheckPool is Check over a worker pool: each rule evaluates concurrently
+// (Matches only reads the analysis result), and the matches fan back in by
+// rule index, so the violation list keeps Check's stable rule-set order at
+// any worker count. A nil or one-worker pool is the exact serial path.
+func CheckPool(res *analysis.Result, ctx Context, ruleSet []*Rule, p *parallel.Pool) []Violation {
+	type outcome struct {
+		ok   bool
+		objs []*absdom.AObj
+	}
+	outcomes := parallel.Map(p, context.Background(), len(ruleSet), func(i int) outcome {
+		ok, objs := ruleSet[i].Matches(res, ctx)
+		return outcome{ok: ok, objs: objs}
+	})
 	var out []Violation
-	for _, r := range ruleSet {
-		if ok, objs := r.Matches(res, ctx); ok {
-			out = append(out, Violation{Rule: r, Objs: objs})
+	for i, o := range outcomes {
+		if o.ok {
+			out = append(out, Violation{Rule: ruleSet[i], Objs: o.objs})
 		}
 	}
 	return out

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short bench-baseline bench-compare clean
+.PHONY: all build vet test race bench bench-short bench-baseline bench-compare bench-cache clean
 
 all: build vet test
 
@@ -39,5 +39,11 @@ bench-baseline:
 bench-compare:
 	BENCH_PARALLEL_OUT=$(CURDIR)/BENCH_parallel.json $(GO) test -run TestWriteBenchParallel -count=1 -v .
 
+# Distance-cache speedup snapshot: the clustering distance matrix over a
+# duplicate-rich corpus with the memoized engine on vs off, at 1 and 8
+# workers, into BENCH_cache.json (same schema as the other snapshots).
+bench-cache:
+	BENCH_CACHE_OUT=$(CURDIR)/BENCH_cache.json $(GO) test -run TestWriteBenchCache -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json BENCH_parallel.json
+	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json

@@ -44,6 +44,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 		workers   = cliutil.WorkersFlag()
+		// Accepted for CLI parity; generation runs no clustering, so there is
+		// no distance cache to toggle here.
+		_ = cliutil.DistCacheFlag()
 	)
 	flag.Parse()
 	cliutil.MustWorkers("corpusgen", *workers)

@@ -45,6 +45,9 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 		workers   = cliutil.WorkersFlag()
+		// Accepted for CLI parity; checking runs no clustering, so there is
+		// no distance cache to toggle here.
+		_ = cliutil.DistCacheFlag()
 	)
 	flag.Parse()
 	cliutil.MustWorkers("cryptochecker", *workers)

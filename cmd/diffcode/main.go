@@ -43,6 +43,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 		workers   = cliutil.WorkersFlag()
+		distCache = cliutil.DistCacheFlag()
 	)
 	flag.Parse()
 	cliutil.MustWorkers("diffcode", *workers)
@@ -53,12 +54,13 @@ func main() {
 		os.Exit(1)
 	}
 	opts := core.Options{
-		Depth:       *depth,
-		BudgetSteps: *budget,
-		MaxErrors:   *maxErrors,
-		FailFast:    *failFast,
-		Metrics:     run.Reg,
-		Workers:     *workers,
+		Depth:            *depth,
+		BudgetSteps:      *budget,
+		MaxErrors:        *maxErrors,
+		FailFast:         *failFast,
+		Metrics:          run.Reg,
+		Workers:          *workers,
+		DisableDistCache: !*distCache,
 	}
 	classes := cryptoapi.TargetClasses
 	if *class != "" {

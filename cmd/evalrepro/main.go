@@ -70,6 +70,7 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 		workers   = cliutil.WorkersFlag()
+		distCache = cliutil.DistCacheFlag()
 	)
 	flag.StringVar(&outDir, "out", "", "also write each figure to <out>/figureN.txt")
 	flag.Parse()
@@ -90,12 +91,13 @@ func main() {
 	}
 	cfg := corpus.Config{Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra}
 	opts := core.Options{
-		Depth:       *depth,
-		BudgetSteps: *budget,
-		MaxErrors:   *maxErr,
-		FailFast:    *failFast,
-		Metrics:     run.Reg,
-		Workers:     *workers,
+		Depth:            *depth,
+		BudgetSteps:      *budget,
+		MaxErrors:        *maxErr,
+		FailFast:         *failFast,
+		Metrics:          run.Reg,
+		Workers:          *workers,
+		DisableDistCache: !*distCache,
 	}
 
 	start := time.Now()

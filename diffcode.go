@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
+	"repro/internal/distcache"
 	"repro/internal/mining"
 	"repro/internal/resilience"
 	"repro/internal/ruledsl"
@@ -127,9 +128,10 @@ func Filter(changes []UsageChange) ([]UsageChange, FilterStats) {
 }
 
 // Cluster builds the complete-linkage dendrogram over usage changes
-// (paper §4.3).
+// (paper §4.3). Distances run through a fresh memoized engine; the result
+// is identical to the uncached computation.
 func Cluster(changes []UsageChange) *Dendrogram {
-	return cluster.Agglomerate(changes, cluster.Complete)
+	return cluster.AgglomerateEngine(changes, cluster.Complete, nil, nil, distcache.New(nil))
 }
 
 // RenderDendrogram draws an ASCII dendrogram.

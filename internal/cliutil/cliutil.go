@@ -19,6 +19,14 @@ func WorkersFlag() *int {
 		"parallel workers for analysis, clustering, and checking (1 = serial; default GOMAXPROCS)")
 }
 
+// DistCacheFlag registers the uniform -dist-cache flag on the default flag
+// set. The cache is on by default; output is bit-identical either way (the
+// flag exists for benchmarking and as an escape hatch, not a trade-off).
+func DistCacheFlag() *bool {
+	return flag.Bool("dist-cache", true,
+		"memoize clustering distance kernels (results are identical either way; -dist-cache=false recomputes every pair)")
+}
+
 // ValidateWorkers checks a -workers value: every worker pool needs at least
 // one worker, so N < 1 is a usage error (0 does not mean "auto" at the CLI
 // — the auto default is already the flag's default value).

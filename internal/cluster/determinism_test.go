@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/change"
+	"repro/internal/distcache"
 	"repro/internal/parallel"
 	"repro/internal/usage"
 )
@@ -90,6 +91,61 @@ func TestDeterminismAgglomeratePool(t *testing.T) {
 			if got != want {
 				t.Errorf("linkage=%v workers=%d: dendrogram differs from serial\n got: %.120s\nwant: %.120s",
 					linkage, w, got, want)
+			}
+		}
+	}
+}
+
+// TestDeterminismDistMatrixEngine asserts the memoized engine's matrix is
+// bitwise equal to the uncached serial matrix at several worker counts.
+// genChanges repeats with period 21, so the 80-change corpus contains
+// duplicate changes and the representative fan-out path is exercised, not
+// just the cache hits.
+func TestDeterminismDistMatrixEngine(t *testing.T) {
+	changes := genChanges(80)
+	want := DistMatrixPool(changes, nil, nil)
+	for _, w := range []int{1, 2, 8} {
+		got := DistMatrixEngine(changes, nil, parallel.New(w, nil), distcache.New(nil))
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: d[%d][%d] = %v, want %v", w, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminismAgglomerateEngine asserts the dendrogram is identical with
+// the distance cache on and off, for every linkage and several worker
+// counts — the acceptance contract behind the -dist-cache toggle.
+func TestDeterminismAgglomerateEngine(t *testing.T) {
+	changes := genChanges(80)
+	for _, linkage := range []Linkage{Complete, Single, Average} {
+		want := dendroFingerprint(AgglomeratePool(changes, linkage, nil, nil))
+		for _, w := range []int{1, 2, 8} {
+			got := dendroFingerprint(AgglomerateEngine(changes, linkage, nil, parallel.New(w, nil), distcache.New(nil)))
+			if got != want {
+				t.Errorf("linkage=%v workers=%d: cached dendrogram differs from uncached\n got: %.120s\nwant: %.120s",
+					linkage, w, got, want)
+			}
+		}
+	}
+}
+
+// TestDeterminismEngineReuse asserts a warm engine (reused across matrices,
+// as the pipeline does per class) still reproduces the cold uncached matrix.
+func TestDeterminismEngineReuse(t *testing.T) {
+	eng := distcache.New(nil)
+	for _, n := range []int{10, 40, 80} {
+		changes := genChanges(n)
+		want := DistMatrixPool(changes, nil, nil)
+		got := DistMatrixEngine(changes, nil, nil, eng)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("n=%d: d[%d][%d] = %v, want %v", n, i, j, got[i][j], want[i][j])
+				}
 			}
 		}
 	}

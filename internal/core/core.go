@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
+	"repro/internal/distcache"
 	"repro/internal/mining"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -57,6 +58,11 @@ type Options struct {
 	// the whole pipeline; nil disables all instrumentation at the cost of
 	// one nil check per probe.
 	Metrics *obs.Registry
+	// DisableDistCache turns off the memoized distance engine behind
+	// clustering and elicitation (the -dist-cache CLI toggle). The zero
+	// value keeps the cache on; results are bit-identical either way — the
+	// cache only changes how often the distance kernels run.
+	DisableDistCache bool
 }
 
 // pool builds the worker pool the pipeline's batch stages dispatch onto.
@@ -81,6 +87,7 @@ func (o Options) withDefaults() Options {
 type DiffCode struct {
 	opts   Options
 	ledger *resilience.Ledger
+	engine *distcache.Engine
 }
 
 // New returns a DiffCode instance.
@@ -90,7 +97,11 @@ func New(opts Options) *DiffCode {
 	if l == nil {
 		l = resilience.NewLedger()
 	}
-	return &DiffCode{opts: opts, ledger: l}
+	d := &DiffCode{opts: opts, ledger: l}
+	if !opts.DisableDistCache {
+		d.engine = distcache.New(opts.Metrics)
+	}
+	return d
 }
 
 // Options returns the effective configuration.
@@ -102,6 +113,11 @@ func (d *DiffCode) Ledger() *resilience.Ledger { return d.ledger }
 
 // Metrics returns the pipeline's registry (nil when uninstrumented).
 func (d *DiffCode) Metrics() *obs.Registry { return d.opts.Metrics }
+
+// Engine returns the memoized distance engine behind clustering and
+// elicitation (nil when Options.DisableDistCache is set — the nil engine is
+// the uncached path).
+func (d *DiffCode) Engine() *distcache.Engine { return d.engine }
 
 // AnalyzedChange is a mined code change with both versions analyzed. The
 // raw sources are retained so the concrete patch behind a usage change can
@@ -301,11 +317,13 @@ func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipel
 
 // ClusterChanges builds the dendrogram over semantic usage changes
 // (complete linkage, per the paper). The distance matrix and the per-merge
-// scans run row-chunked on the pipeline's worker pool; the dendrogram is
-// identical at any worker count.
+// scans run row-chunked on the pipeline's worker pool, and the distance
+// kernels run through the memoized engine unless Options.DisableDistCache
+// is set; the dendrogram is identical at any worker count and with the
+// cache on or off.
 func (d *DiffCode) ClusterChanges(changes []change.UsageChange) *cluster.Node {
 	sp := d.opts.Metrics.StartSpan("cluster")
-	root := cluster.AgglomeratePool(changes, cluster.Complete, d.opts.Metrics, d.opts.pool())
+	root := cluster.AgglomerateEngine(changes, cluster.Complete, d.opts.Metrics, d.opts.pool(), d.engine)
 	sp.End()
 	return root
 }

@@ -20,12 +20,12 @@ func determinismCorpus() *corpus.Corpus {
 	return corpus.Generate(corpus.Config{Seed: 7, Scale: 0.4, Projects: 20, ExtraProjects: 3})
 }
 
-// pipelineFingerprint runs the full mining pipeline at the given worker
-// count and serializes everything observable about the result.
-func pipelineFingerprint(t *testing.T, c *corpus.Corpus, workers int) string {
+// pipelineFingerprint runs the full mining pipeline under the given options
+// and serializes everything observable about the result.
+func pipelineFingerprint(t *testing.T, c *corpus.Corpus, opts Options) string {
 	t.Helper()
 	var sb strings.Builder
-	d := New(Options{Workers: workers})
+	d := New(opts)
 	analyzed := d.MineCorpus(c)
 	fmt.Fprintf(&sb, "analyzed=%d\n", len(analyzed))
 	for i, a := range analyzed {
@@ -67,13 +67,42 @@ func sortedKeys(m map[string]bool) string {
 // ClusterChanges produce identical results at workers 1, 2, and 8.
 func TestDeterminismMiningPipeline(t *testing.T) {
 	c := determinismCorpus()
-	want := pipelineFingerprint(t, c, 1)
+	want := pipelineFingerprint(t, c, Options{Workers: 1})
 	if !strings.Contains(want, "survivor") {
 		t.Fatalf("corpus produced no survivors; fingerprint exercises too little")
 	}
 	for _, w := range []int{2, 8} {
-		if got := pipelineFingerprint(t, c, w); got != want {
+		if got := pipelineFingerprint(t, c, Options{Workers: w}); got != want {
 			t.Errorf("workers=%d: pipeline fingerprint differs from workers=1\ngot:\n%.800s\nwant:\n%.800s", w, got, want)
+		}
+	}
+}
+
+// TestDeterminismDistCacheOnOff asserts the whole observable pipeline —
+// survivors, dendrogram renderings, ledger — is byte-identical with the
+// distance cache enabled and disabled, at every worker count. This is the
+// acceptance contract of the -dist-cache flag: the cache changes how often
+// kernels run, never what they return.
+func TestDeterminismDistCacheOnOff(t *testing.T) {
+	// Not determinismCorpus: that one leaves every class with at most one
+	// survivor, so ClusterChanges would never run. This configuration gives
+	// Cipher and SecretKeySpec multi-survivor classes, putting real
+	// dendrograms (rendered into the fingerprint) on both sides of the
+	// comparison.
+	c := corpus.Generate(corpus.Config{Seed: 3, Scale: 0.5, Projects: 60, ExtraProjects: 3})
+	want := pipelineFingerprint(t, c, Options{Workers: 1, DisableDistCache: true})
+	if !strings.Contains(want, "survivor") {
+		t.Fatalf("corpus produced no survivors; fingerprint exercises too little")
+	}
+	if !strings.Contains(want, "h=") {
+		t.Fatalf("corpus produced no dendrogram; the cache on/off comparison exercises too little")
+	}
+	for _, w := range []int{1, 2, 8} {
+		if got := pipelineFingerprint(t, c, Options{Workers: w}); got != want {
+			t.Errorf("workers=%d: cached pipeline fingerprint differs from uncached\ngot:\n%.800s\nwant:\n%.800s", w, got, want)
+		}
+		if got := pipelineFingerprint(t, c, Options{Workers: w, DisableDistCache: true}); got != want {
+			t.Errorf("workers=%d: uncached pipeline fingerprint differs from workers=1", w)
 		}
 	}
 }

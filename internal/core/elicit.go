@@ -6,8 +6,8 @@ import (
 	"repro/internal/change"
 	"repro/internal/cluster"
 	"repro/internal/cryptoapi"
+	"repro/internal/distcache"
 	"repro/internal/rules"
-	"repro/internal/textdist"
 	"repro/internal/usage"
 )
 
@@ -59,7 +59,7 @@ func (e *Evaluation) elicitClass(class string) []ElicitedRule {
 	if len(survivors) == 1 {
 		clusters = [][]int{{0}}
 	} else {
-		d := cluster.DistMatrix(survivors)
+		d := cluster.DistMatrixEngine(survivors, nil, nil, e.DiffCode.engine)
 		root := cluster.AgglomerateMatrix(d, cluster.Complete)
 		clusters, _ = cluster.CutAuto(root, d)
 	}
@@ -96,7 +96,7 @@ func (e *Evaluation) elicitClass(class string) []ElicitedRule {
 		er.Rule = rules.Suggest(rep)
 		pending = append(pending, er)
 	}
-	return dropReversedClusters(pending)
+	return dropReversedClusters(pending, e.DiffCode.engine)
 }
 
 // dropReversedClusters implements the paper's cluster-level direction
@@ -105,7 +105,7 @@ func (e *Evaluation) elicitClass(class string) []ElicitedRule {
 // commit support, the smaller cluster is the buggy direction and is
 // dropped. This catches families the exact-signature vote misses, e.g. a
 // CBC→ECB regression whose fix counterpart uses a different padding.
-func dropReversedClusters(clusters []ElicitedRule) []ElicitedRule {
+func dropReversedClusters(clusters []ElicitedRule, eng *distcache.Engine) []ElicitedRule {
 	const reverseThreshold = 0.35
 	var out []ElicitedRule
 	for i, a := range clusters {
@@ -114,7 +114,7 @@ func dropReversedClusters(clusters []ElicitedRule) []ElicitedRule {
 			if i == j || b.Support <= a.Support {
 				continue
 			}
-			if minSwapDist(a, b) < reverseThreshold {
+			if minSwapDist(eng, a, b) < reverseThreshold {
 				reversed = true
 				a.Reversals += b.Support
 				break
@@ -128,12 +128,12 @@ func dropReversedClusters(clusters []ElicitedRule) []ElicitedRule {
 }
 
 // minSwapDist is the smallest usage distance between any member of a with
-// its (F−, F+) swapped and any member of b.
-func minSwapDist(a, b ElicitedRule) float64 {
+// its (F−, F+) swapped and any member of b. A nil engine computes uncached.
+func minSwapDist(eng *distcache.Engine, a, b ElicitedRule) float64 {
 	best := 2.0
 	for _, ma := range a.Members {
 		for _, mb := range b.Members {
-			d := textdist.UsageDist(ma.Added, ma.Removed, mb.Removed, mb.Added)
+			d := eng.UsageDist(ma.Added, ma.Removed, mb.Removed, mb.Added)
 			if d < best {
 				best = d
 			}

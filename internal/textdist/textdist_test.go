@@ -1,6 +1,7 @@
 package textdist
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -238,4 +239,115 @@ func BenchmarkPathsDist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		PathsDist(f1, f2)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential properties: the banded kernel vs the naive reference DP.
+// ---------------------------------------------------------------------------
+
+// TestDifferentialLevenshteinBandedVsNaive quick-checks that the doubling-
+// band kernel returns exactly the naive full-DP distance on arbitrary rune
+// slices (including non-ASCII input from quick's string generator).
+func TestDifferentialLevenshteinBandedVsNaive(t *testing.T) {
+	trim := func(s string) []rune {
+		r := []rune(s)
+		if len(r) > 24 {
+			r = r[:24]
+		}
+		return r
+	}
+	f := func(a, b string) bool {
+		x, y := trim(a), trim(b)
+		return Levenshtein(x, y) == levenshteinNaive(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial shapes for the band: shared affixes, big length skews,
+	// and strings that differ only in the middle.
+	cases := [][2]string{
+		{"", ""}, {"a", ""}, {"", "abcdef"},
+		{"abcdef", "abcdef"},
+		{"abcdef", "abXdef"},
+		{"aaaaaaaaaa", "a"},
+		{"prefixMIDDLEsuffix", "prefixMIDDLXsuffix"},
+		{"prefix_suffix", "prefixsuffix"},
+		{"xyxyxyxy", "yxyxyxyx"},
+		{"AES/CBC/PKCS5Padding", "AES/GCM/NoPadding"},
+		{"日本語テキスト", "日本語のテキスト"},
+	}
+	for _, c := range cases {
+		x, y := []rune(c[0]), []rune(c[1])
+		if got, want := Levenshtein(x, y), levenshteinNaive(x, y); got != want {
+			t.Errorf("lev(%q, %q) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+// TestDifferentialLabelDist quick-checks LabelDist (banded) against the
+// naive reference over the label shapes the pipeline produces, plus raw
+// random strings (malformed labels must agree too).
+func TestDifferentialLabelDist(t *testing.T) {
+	algs := []string{"", "AES", "DES", "AES/ECB", "AES/CBC/PKCS5Padding",
+		"AES/GCM/NoPadding", "SHA1PRNG", "MD5", "日本語"}
+	mk := func(pos uint8, alg uint8) string {
+		return fmt.Sprintf("arg%d:%q", int(pos)%3+1, algs[int(alg)%len(algs)])
+	}
+	structured := func(p1, a1, p2, a2 uint8) bool {
+		a, b := mk(p1, a1), mk(p2, a2)
+		return LabelDist(a, b) == labelDistNaive(a, b)
+	}
+	raw := func(a, b string) bool {
+		return LabelDist(a, b) == labelDistNaive(a, b)
+	}
+	for name, f := range map[string]any{"structured": structured, "raw": raw} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestLabelPayloadDegenerate pins the malformed-label guard: a label ending
+// exactly at the opening `:"` has no payload and must be treated as a
+// single-unit label, not sliced out of bounds.
+func TestLabelPayloadDegenerate(t *testing.T) {
+	for _, l := range []string{`x:"`, `:"`, `arg1:"`} {
+		if got := LabelLen(l); got != 1 {
+			t.Errorf("LabelLen(%q) = %d, want 1", l, got)
+		}
+		if got := LabelDist(l, "other"); got != 1 {
+			t.Errorf("LabelDist(%q, other) = %d, want 1", l, got)
+		}
+	}
+	// A well-formed empty payload still counts prefix + 0 characters.
+	if got := LabelLen(`arg1:""`); got != 1 {
+		t.Errorf("LabelLen(arg1:\"\") = %d, want 1", got)
+	}
+}
+
+// BenchmarkLevenshteinKernels compares the banded kernel against the naive
+// DP on a representative label-payload workload.
+func BenchmarkLevenshteinKernels(b *testing.B) {
+	pairs := [][2][]rune{
+		{[]rune("AES/CBC/PKCS5Padding"), []rune("AES/GCM/NoPadding")},
+		{[]rune("AES/CBC/PKCS5Padding"), []rune("AES/CBC/PKCS5Padding")},
+		{[]rune("SHA1PRNG"), []rune("NativePRNG")},
+		{[]rune("AES"), []rune("DESede/ECB/PKCS5Padding")},
+	}
+	b.Run("banded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				Levenshtein(p[0], p[1])
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				levenshteinNaive(p[0], p[1])
+			}
+		}
+	})
 }

@@ -210,6 +210,20 @@ func (p Path) String() string { return strings.Join(p, " → ") }
 // Key returns a canonical identity string.
 func (p Path) Key() string { return strings.Join(p, "\x00") }
 
+// AppendKey appends the canonical identity of p (the same NUL-separated
+// scheme as Key) to dst and returns the extended slice. Interners and
+// fingerprinting loops use it with a reused buffer so building a lookup key
+// does not allocate per path.
+func (p Path) AppendKey(dst []byte) []byte {
+	for i, el := range p {
+		if i > 0 {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, el...)
+	}
+	return dst
+}
+
 // Equal reports element-wise equality.
 func (p Path) Equal(q Path) bool {
 	if len(p) != len(q) {

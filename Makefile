@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short bench-baseline bench-compare bench-cache clean
+.PHONY: all build vet test race bench bench-short bench-baseline bench-compare bench-cache bench-why clean
 
 all: build vet test
 
@@ -45,5 +45,11 @@ bench-compare:
 bench-cache:
 	BENCH_CACHE_OUT=$(CURDIR)/BENCH_cache.json $(GO) test -run TestWriteBenchCache -count=1 -v .
 
+# Provenance overhead snapshot: the interpreter hot loop with -why's def-site
+# tagging on vs off, plus the witness reconstruction cost, into
+# BENCH_why.json (same schema). Acceptance: overhead_milli < 1100 (<10%).
+bench-why:
+	BENCH_WHY_OUT=$(CURDIR)/BENCH_why.json $(GO) test -run TestWriteBenchWhy -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json
+	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json

@@ -24,9 +24,11 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/ruledsl"
 	"repro/internal/rules"
+	"repro/internal/witness"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 		failFast  = flag.Bool("fail-fast", false, "abort at the first unreadable input")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		why       = cliutil.WhyFlag()
 		workers   = cliutil.WorkersFlag()
 		// Accepted for CLI parity; checking runs no clustering, so there is
 		// no distance cache to toggle here.
@@ -142,7 +145,8 @@ func main() {
 	err = resilience.Guard("analyze", func() error {
 		var aerr error
 		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgramPool(sources, run.Reg, pool),
-			analysis.Options{Budget: resilience.NewBudget(*budget, 0), Metrics: run.Reg})
+			analysis.Options{Budget: resilience.NewBudget(*budget, 0), Metrics: run.Reg,
+				Provenance: why.On()})
 		return aerr
 	})
 	if err != nil {
@@ -161,19 +165,32 @@ func main() {
 	run.Reg.Counter("checker.rules_evaluated").Add(int64(len(ruleSet)))
 	run.Reg.Counter("checker.violations").Add(int64(len(violations)))
 
-	for _, v := range violations {
-		if *quiet {
-			fmt.Println(v.Rule.ID)
-			continue
+	if why.On() {
+		// Witness mode: violations sort by source location and each carries
+		// its reconstructed trace. Takes precedence over -q/-v rendering.
+		sorted := report.SortViolations(violations, res)
+		traces := witness.Collect(sorted, res, ctx)
+		witness.Observe(run.Reg, traces)
+		if *why == cliutil.WhyJSON {
+			fmt.Print(witness.JSON(traces))
+		} else {
+			fmt.Print(witness.Render(traces))
 		}
-		if *verbose {
-			fmt.Print(rules.Explain(v, res))
-			continue
-		}
-		fmt.Printf("%s: %s\n", v.Rule.ID, v.Rule.Description)
-		fmt.Printf("    rule: %s\n", v.Rule.Formula)
-		for _, o := range v.Objs {
-			fmt.Printf("    at %s (line %d)\n", o.SiteLabel(), o.Site.Line)
+	} else {
+		for _, v := range violations {
+			if *quiet {
+				fmt.Println(v.Rule.ID)
+				continue
+			}
+			if *verbose {
+				fmt.Print(rules.Explain(v, res))
+				continue
+			}
+			fmt.Printf("%s: %s\n", v.Rule.ID, v.Rule.Description)
+			fmt.Printf("    rule: %s\n", v.Rule.Formula)
+			for _, o := range v.Objs {
+				fmt.Printf("    at %s (line %d)\n", o.SiteLabel(), o.Site.Line)
+			}
 		}
 	}
 	if ledger.Len() > 0 {
@@ -181,12 +198,12 @@ func main() {
 	}
 	run.Flush(ledger, false)
 	if len(violations) > 0 {
-		if !*quiet {
+		if !*quiet && *why != cliutil.WhyJSON {
 			fmt.Printf("\n%d rule(s) matched across %d file(s)\n", len(violations), len(sources))
 		}
 		os.Exit(1)
 	}
-	if !*quiet {
+	if !*quiet && *why != cliutil.WhyJSON {
 		fmt.Printf("no rule violations across %d file(s)\n", len(sources))
 	}
 }

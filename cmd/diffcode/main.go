@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +25,9 @@ import (
 	"repro/internal/mining"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/rules"
 	"repro/internal/textdiff"
+	"repro/internal/witness"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		why       = cliutil.WhyFlag()
 		workers   = cliutil.WorkersFlag()
 		distCache = cliutil.DistCacheFlag()
 	)
@@ -74,8 +78,12 @@ func main() {
 
 	switch {
 	case *oldFile != "" && *newFile != "":
-		runSingle(run, *oldFile, *newFile, classes, opts, *showDiff, *dot)
+		runSingle(run, *oldFile, *newFile, classes, opts, *showDiff, *dot, *why)
 	case *corpusDir != "":
+		if why.On() {
+			fmt.Fprintln(os.Stderr, "diffcode: -why applies to single-change mode (-old/-new) only")
+			os.Exit(2)
+		}
 		runCorpus(run, *corpusDir, classes, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "diffcode: need either -old/-new or -corpus")
@@ -84,7 +92,7 @@ func main() {
 	}
 }
 
-func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool) {
+func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool, why cliutil.WhyMode) {
 	oldSrc := mustRead(oldPath)
 	newSrc := mustRead(newPath)
 	if showDiff {
@@ -132,7 +140,67 @@ func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts cor
 	if !any {
 		fmt.Println("no semantic usage changes (refactoring or unrelated change)")
 	}
+	if why.On() {
+		printWhy(run, oldPath, oldSrc, newPath, newSrc, opts, why)
+	}
 	run.Flush(d.Ledger(), false)
+}
+
+// printWhy checks both versions of the change against the full rule set and
+// prints witness traces for the violations the change fixed (old version
+// only) and introduced (new version only).
+func printWhy(run *obs.CLI, oldPath, oldSrc, newPath, newSrc string, opts core.Options, why cliutil.WhyMode) {
+	checker := core.NewChecker(nil, opts)
+	ctx := rules.Context{}
+	oldVs, oldTraces := checker.CheckSourcesWhy(map[string]string{oldPath: oldSrc}, ctx)
+	newVs, newTraces := checker.CheckSourcesWhy(map[string]string{newPath: newSrc}, ctx)
+	oldIDs := ruleIDSet(oldVs)
+	newIDs := ruleIDSet(newVs)
+	fixed := filterTraces(oldTraces, func(id string) bool { return !newIDs[id] })
+	introduced := filterTraces(newTraces, func(id string) bool { return !oldIDs[id] })
+	if why == cliutil.WhyJSON {
+		out := struct {
+			Fixed      []witness.Trace `json:"fixed"`
+			Introduced []witness.Trace `json:"introduced"`
+		}{fixed, introduced}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf("\n--- violations fixed by this change (%d) ---\n", countRules(fixed))
+	fmt.Print(witness.Render(fixed))
+	fmt.Printf("\n--- violations introduced by this change (%d) ---\n", countRules(introduced))
+	fmt.Print(witness.Render(introduced))
+}
+
+func ruleIDSet(vs []rules.Violation) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range vs {
+		out[v.Rule.ID] = true
+	}
+	return out
+}
+
+func filterTraces(ts []witness.Trace, keep func(ruleID string) bool) []witness.Trace {
+	var out []witness.Trace
+	for _, t := range ts {
+		if keep(t.Rule) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func countRules(ts []witness.Trace) int {
+	seen := map[string]bool{}
+	for _, t := range ts {
+		seen[t.Rule] = true
+	}
+	return len(seen)
 }
 
 func runCorpus(run *obs.CLI, dir string, classes []string, opts core.Options) {

@@ -1,0 +1,9 @@
+// Violates R1: SHA-1 is a weak digest.
+import java.security.MessageDigest;
+
+class R1 {
+    byte[] hash(byte[] data) throws Exception {
+        MessageDigest md = MessageDigest.getInstance("SHA-1");
+        return md.digest(data);
+    }
+}

@@ -1,0 +1,9 @@
+// Violates R10: the key bytes are hard-coded.
+import javax.crypto.spec.SecretKeySpec;
+
+class R10 {
+    void run() {
+        String key = "0123456789abcdef";
+        SecretKeySpec ks = new SecretKeySpec(key.getBytes(), "AES");
+    }
+}

@@ -1,0 +1,9 @@
+// Violates R11: the PBE salt is a compile-time constant.
+import javax.crypto.spec.PBEKeySpec;
+
+class R11 {
+    void derive(char[] password) {
+        byte[] salt = {8, 7, 6, 5, 4, 3, 2, 1};
+        PBEKeySpec spec = new PBEKeySpec(password, salt, 65536, 256);
+    }
+}

@@ -1,0 +1,9 @@
+// Violates R12: seeding SecureRandom with a constant.
+import java.security.SecureRandom;
+
+class R12 {
+    void run() {
+        SecureRandom sr = new SecureRandom();
+        sr.setSeed(42);
+    }
+}

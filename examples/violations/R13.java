@@ -1,0 +1,9 @@
+// Violates R13: AES/CBC plus RSA key exchange with no HMAC anywhere.
+import javax.crypto.Cipher;
+
+class R13 {
+    void exchange() throws Exception {
+        Cipher wrap = Cipher.getInstance("RSA/ECB/PKCS1Padding");
+        Cipher data = Cipher.getInstance("AES/CBC/PKCS5Padding");
+    }
+}

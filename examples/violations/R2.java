@@ -1,0 +1,9 @@
+// Violates R2: PBE iteration count below 1000.
+import javax.crypto.spec.PBEKeySpec;
+
+class R2 {
+    void derive(char[] password, byte[] salt) {
+        int iterations = 100;
+        PBEKeySpec spec = new PBEKeySpec(password, salt, iterations, 128);
+    }
+}

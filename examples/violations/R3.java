@@ -1,0 +1,10 @@
+// Violates R3: SecureRandom without selecting SHA1PRNG.
+import java.security.SecureRandom;
+
+class R3 {
+    void run() {
+        SecureRandom sr = new SecureRandom();
+        byte[] buf = new byte[16];
+        sr.nextBytes(buf);
+    }
+}

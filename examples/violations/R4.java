@@ -1,0 +1,9 @@
+// Violates R4: getInstanceStrong can block on server-side code.
+import java.security.SecureRandom;
+
+class R4 {
+    void run() throws Exception {
+        SecureRandom sr = SecureRandom.getInstanceStrong();
+        sr.nextInt();
+    }
+}

@@ -1,0 +1,8 @@
+// Violates R5: Cipher without the BouncyCastle provider.
+import javax.crypto.Cipher;
+
+class R5 {
+    void run() throws Exception {
+        Cipher c = Cipher.getInstance("AES/GCM/NoPadding");
+    }
+}

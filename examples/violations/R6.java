@@ -1,0 +1,9 @@
+// Violates R6 (with Android minSdk >= 16 and no LPRNG fix applied).
+import java.security.SecureRandom;
+
+class R6 {
+    void run() {
+        SecureRandom sr = new SecureRandom();
+        sr.nextLong();
+    }
+}

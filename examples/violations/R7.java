@@ -1,0 +1,9 @@
+// Violates R7: ECB mode leaks plaintext structure.
+import javax.crypto.Cipher;
+
+class R7 {
+    void run() throws Exception {
+        String mode = "AES/ECB/PKCS5Padding";
+        Cipher c = Cipher.getInstance(mode);
+    }
+}

@@ -1,0 +1,8 @@
+// Violates R8: DES keys fall to brute force.
+import javax.crypto.Cipher;
+
+class R8 {
+    void run() throws Exception {
+        Cipher c = Cipher.getInstance("DES/CBC/PKCS5Padding");
+    }
+}

@@ -1,0 +1,10 @@
+// Violates R9: the IV is a compile-time constant.
+import javax.crypto.spec.IvParameterSpec;
+
+class R9 {
+    static final byte[] IV = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+
+    void run() {
+        IvParameterSpec spec = new IvParameterSpec(IV);
+    }
+}

@@ -63,17 +63,21 @@ func (s *State) SetField(name string, v Value) { s.Fields[name] = v }
 // branch forks is preferred over path explosion; the analyzer joins only
 // when the fork budget is exhausted). Unbound-on-one-side names degrade to
 // the bound value (the paper's analysis is a may-analysis over features).
-func (s *State) Join(o *State) {
+func (s *State) Join(o *State) { s.JoinIn(o, nil) }
+
+// JoinIn is Join with any new provenance join nodes drawn from ar (nil ar
+// falls back to the heap); the lattice result is identical to Join's.
+func (s *State) JoinIn(o *State, ar *ProvArena) {
 	for k, v := range o.Vars {
 		if cur, ok := s.Vars[k]; ok {
-			s.Vars[k] = Join(cur, v)
+			s.Vars[k] = JoinIn(ar, cur, v)
 		} else {
 			s.Vars[k] = v
 		}
 	}
 	for k, v := range o.Fields {
 		if cur, ok := s.Fields[k]; ok {
-			s.Fields[k] = Join(cur, v)
+			s.Fields[k] = JoinIn(ar, cur, v)
 		} else {
 			s.Fields[k] = v
 		}
@@ -86,7 +90,7 @@ func (s *State) Join(o *State) {
 		}
 		for k, v := range fs {
 			if cv, ok := cur[k]; ok {
-				cur[k] = Join(cv, v)
+				cur[k] = JoinIn(ar, cv, v)
 			} else {
 				cur[k] = v
 			}

@@ -70,6 +70,15 @@ type Value struct {
 	Obj *AObj
 	// Type is the static type name for KObj/KTopObj when known.
 	Type string
+	// Prov is the value's flow provenance (nil when tracking is off).
+	// It is observation-only: Equal, Label, and event keys ignore it.
+	Prov *Prov
+}
+
+// WithProv returns the value carrying the given provenance.
+func (v Value) WithProv(p *Prov) Value {
+	v.Prov = p
+	return v
 }
 
 // Constructors.
@@ -196,6 +205,33 @@ func (v Value) Label() string {
 	}
 }
 
+// Literal label shapes: "literal " + Label(), with the quoting fragments
+// hoisted into the shape so recording never concatenates.
+var (
+	litShapePlain  = &LabelShape{Pre: "literal "}
+	litShapeStr    = &LabelShape{Pre: "literal \"", Suf: "\""}
+	litShapeIntArr = &LabelShape{Pre: "literal int[]{", Suf: "}"}
+	litShapeStrArr = &LabelShape{Pre: "literal String[]{", Suf: "}"}
+)
+
+// LiteralShape returns the provenance label of the value as a literal
+// definition: a constant shape plus the dynamic payload, rendering exactly
+// "literal " + Label().
+func (v Value) LiteralShape() (*LabelShape, string) {
+	switch v.Kind {
+	case KStrConst:
+		return litShapeStr, v.Payload
+	case KIntArrConst:
+		return litShapeIntArr, v.Payload
+	case KStrArrConst:
+		return litShapeStrArr, v.Payload
+	default:
+		// Every other case of Label returns a constant or the payload
+		// itself — no concatenation to avoid.
+		return litShapePlain, v.Label()
+	}
+}
+
 // Equal reports semantic equality of two abstract values. Object references
 // compare by allocation site identity.
 func (v Value) Equal(w Value) bool {
@@ -215,8 +251,32 @@ func (v Value) Equal(w Value) bool {
 // Join computes the least upper bound of two values in the flat lattices of
 // Figure 3: equal values join to themselves, differing values of the same
 // base family join to that family's ⊤, and anything else joins to a typed
-// or untyped ⊤obj.
+// or untyped ⊤obj. Provenance of the two sides merges into a join step;
+// when neither side carries provenance the result carries none, so the
+// lattice result is untouched by tracking.
 func Join(v, w Value) Value {
+	out := joinLattice(v, w)
+	if v.Prov != nil || w.Prov != nil {
+		out.Prov = JoinProv(v.Prov, w.Prov)
+	}
+	return out
+}
+
+// JoinIn is Join with any new join-step node drawn from ar (nil ar falls
+// back to the heap). The lattice result is identical to Join's.
+func JoinIn(ar *ProvArena, v, w Value) Value {
+	out := joinLattice(v, w)
+	if v.Prov != nil || w.Prov != nil {
+		if ar != nil {
+			out.Prov = ar.JoinProv(v.Prov, w.Prov)
+		} else {
+			out.Prov = JoinProv(v.Prov, w.Prov)
+		}
+	}
+	return out
+}
+
+func joinLattice(v, w Value) Value {
 	if v.Equal(w) {
 		return v
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cryptoapi"
 	"repro/internal/javaast"
 	"repro/internal/javaparser"
+	"repro/internal/javatok"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
@@ -41,6 +42,13 @@ type Options struct {
 	// Metrics, when non-nil, receives interpreter telemetry (steps executed,
 	// per-run step distribution, budget exhaustions).
 	Metrics *obs.Registry
+	// Provenance enables flow-provenance tracking: every abstract value
+	// carries a capped def-site chain (literal → assignments → inlined
+	// calls → joins) that the witness layer renders into violation traces.
+	// Off by default; with tracking off the analysis allocates no
+	// provenance and its result is bit-identical to a provenance-unaware
+	// interpreter.
+	Provenance bool
 }
 
 func (o Options) withDefaults() Options {
@@ -117,10 +125,16 @@ func ParseProgramPool(sources map[string]string, reg *obs.Registry, pool *parall
 
 // Event is one element of AUses(o): a method invocation observed on an
 // abstract object together with the abstract values of its arguments (the
-// projection of the abstract state the DAG construction consumes).
+// projection of the abstract state the DAG construction consumes). File and
+// Pos locate the call site of the first observation of the event (the sink
+// position of witness traces); they do not participate in Key, so
+// deduplication — and therefore every downstream result — is unchanged by
+// their presence.
 type Event struct {
 	Sig  cryptoapi.MethodSig
 	Args []absdom.Value
+	File string
+	Pos  javatok.Pos
 }
 
 // Key returns a deduplication key for the event (signature plus argument
@@ -236,6 +250,13 @@ type analyzer struct {
 	constBusy   map[*javaast.FieldDecl]bool
 	curFile     int
 	budget      *resilience.Budget
+	// provOn enables flow-provenance tracking (Options.Provenance). Every
+	// attach site in the hot loop is gated on this one bool, so the
+	// tracking-off interpreter pays a single predictable branch per site.
+	provOn bool
+	// provArena batch-allocates the Prov nodes of this analysis; with
+	// tracking off it is never touched.
+	provArena absdom.ProvArena
 	// steps counts every statement and expression visited; unlike the
 	// budget it is always on (one register increment in the hot loop).
 	steps int64
@@ -284,6 +305,7 @@ func newAnalyzer(prog *Program, opts Options) *analyzer {
 		calledName: map[string]bool{},
 		executed:   map[*javaast.MethodDecl]bool{},
 		budget:     opts.Budget,
+		provOn:     opts.Provenance,
 	}
 	for fi, f := range prog.Files {
 		for _, t := range f.Unit.Types {
@@ -405,7 +427,11 @@ func (an *analyzer) runEntry(ci *classInfo, m *javaast.MethodDecl) {
 	// Field initializers (and initializer blocks) run before the entry.
 	an.initFields(ci, st, fr)
 	for _, p := range m.Params {
-		st.SetVar(p.Name, absdom.TopOfType(p.Type.Base(), p.Type.Dims))
+		v := absdom.TopOfType(p.Type.Base(), p.Type.Dims)
+		if an.provOn {
+			v.Prov = an.prov0x(absdom.ProvParam, p, shParamOf, p.Name, m.Name)
+		}
+		st.SetVar(p.Name, v)
 		fr.varTypes[p.Name] = p.Type
 	}
 	an.execMethod(ci, m, nil, st, 0)
@@ -419,9 +445,16 @@ func (an *analyzer) initFields(ci *classInfo, st *absdom.State, fr *frame) {
 		if fd.Init != nil {
 			v := an.eval(fd.Init, st, fr, 0)
 			v = refine(v, fd.Type)
+			if an.provOn {
+				v.Prov = an.prov1(absdom.ProvField, fd, shField, key, v.Prov)
+			}
 			st.SetField(key, v)
 		} else {
-			st.SetField(key, absdom.TopOfType(fd.Type.Base(), fd.Type.Dims))
+			v := absdom.TopOfType(fd.Type.Base(), fd.Type.Dims)
+			if an.provOn {
+				v.Prov = an.prov0(absdom.ProvField, fd, shFieldNoInit, key)
+			}
+			st.SetField(key, v)
 		}
 	}
 	for _, m := range ci.decl.Methods {
@@ -441,23 +474,23 @@ func refine(v absdom.Value, typ *javaast.TypeRef) absdom.Value {
 		return v
 	}
 	if !v.IsValid() || (v.Kind == absdom.KTopObj && v.Type == "") {
-		return absdom.TopOfType(typ.Base(), typ.Dims)
+		return absdom.TopOfType(typ.Base(), typ.Dims).WithProv(v.Prov)
 	}
 	if typ.Dims > 0 {
 		switch typ.Base() {
 		case "int", "long", "short":
 			if v.Kind == absdom.KConstByteArr {
-				return absdom.IntArrConst("const")
+				return absdom.IntArrConst("const").WithProv(v.Prov)
 			}
 			if v.Kind == absdom.KTopByteArr {
-				return absdom.TopIntArr()
+				return absdom.TopIntArr().WithProv(v.Prov)
 			}
 		case "String":
 			if v.Kind == absdom.KConstByteArr {
-				return absdom.StrArrConst("const")
+				return absdom.StrArrConst("const").WithProv(v.Prov)
 			}
 			if v.Kind == absdom.KTopByteArr {
-				return absdom.TopStrArr()
+				return absdom.TopStrArr().WithProv(v.Prov)
 			}
 		}
 	}
@@ -476,8 +509,16 @@ func (an *analyzer) execMethod(ci *classInfo, m *javaast.MethodDecl, args []absd
 		var v absdom.Value
 		if i < len(args) && args[i].IsValid() {
 			v = refine(args[i], p.Type)
+			if an.provOn {
+				// The argument's history continues through the callee under
+				// the parameter's name.
+				v.Prov = an.prov1x(absdom.ProvParam, p, shParamOf, p.Name, m.Name, v.Prov)
+			}
 		} else {
 			v = absdom.TopOfType(p.Type.Base(), p.Type.Dims)
+			if an.provOn {
+				v.Prov = an.prov0x(absdom.ProvParam, p, shParamOf, p.Name, m.Name)
+			}
 		}
 		st.SetVar(p.Name, v)
 		fr.varTypes[p.Name] = p.Type
@@ -487,13 +528,13 @@ func (an *analyzer) execMethod(ci *classInfo, m *javaast.MethodDecl, args []absd
 	// effects are visible to the caller.
 	for _, s := range append(live, fr.finished...) {
 		if s != st {
-			st.Join(s)
+			st.JoinIn(s, &an.provArena)
 		}
 	}
 	if len(fr.retVals) > 0 {
 		ret := fr.retVals[0]
 		for _, v := range fr.retVals[1:] {
-			ret = absdom.Join(ret, v)
+			ret = absdom.JoinIn(&an.provArena, ret, v)
 		}
 		return ret
 	}

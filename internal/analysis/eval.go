@@ -18,7 +18,12 @@ func (an *analyzer) eval(e javaast.Expr, st *absdom.State, fr *frame, depth int)
 		return absdom.Value{}
 
 	case *javaast.Literal:
-		return literalValue(x)
+		v := literalValue(x)
+		if an.provOn {
+			sh, name := v.LiteralShape()
+			v.Prov = an.prov0(absdom.ProvLiteral, x, sh, name)
+		}
+		return v
 
 	case *javaast.Name:
 		if v, ok := st.LookupVar(x.Ident); ok {
@@ -50,34 +55,54 @@ func (an *analyzer) eval(e javaast.Expr, st *absdom.State, fr *frame, depth int)
 				allConst = false
 			}
 		}
+		var v absdom.Value
 		if allConst {
-			return absdom.ConstByteArr()
+			v = absdom.ConstByteArr()
+		} else {
+			v = absdom.TopByteArr()
 		}
-		return absdom.TopByteArr()
+		if an.provOn {
+			v.Prov = an.prov0(absdom.ProvLiteral, x, nil, "array initializer {...}")
+		}
+		return v
 
 	case *javaast.Index:
 		v := an.eval(x.X, st, fr, depth)
 		an.eval(x.I, st, fr, depth)
+		var el absdom.Value
 		switch v.Kind {
 		case absdom.KConstByteArr:
-			return absdom.ConstByte()
+			el = absdom.ConstByte()
 		case absdom.KTopByteArr:
-			return absdom.TopByte()
+			el = absdom.TopByte()
 		case absdom.KIntArrConst, absdom.KTopIntArr:
-			return absdom.TopInt()
+			el = absdom.TopInt()
 		case absdom.KStrArrConst, absdom.KTopStrArr:
-			return absdom.TopStr()
+			el = absdom.TopStr()
+		default:
+			el = absdom.TopObj("")
 		}
-		return absdom.TopObj("")
+		if an.provOn && v.Prov != nil {
+			el.Prov = an.prov1(absdom.ProvDerived, x, nil, "array element", v.Prov)
+		}
+		return el
 
 	case *javaast.Binary:
 		l := an.eval(x.L, st, fr, depth)
 		r := an.eval(x.R, st, fr, depth)
-		return foldBinary(x.Op, l, r)
+		v := foldBinary(x.Op, l, r)
+		if an.provOn && (l.Prov != nil || r.Prov != nil) {
+			v.Prov = an.prov2(absdom.ProvDerived, x, shOperator, x.Op, l.Prov, r.Prov)
+		}
+		return v
 
 	case *javaast.Unary:
 		v := an.eval(x.X, st, fr, depth)
-		return foldUnary(x.Op, v)
+		u := foldUnary(x.Op, v)
+		if an.provOn && v.Prov != nil {
+			u.Prov = an.prov1(absdom.ProvDerived, x, shOperator, x.Op, v.Prov)
+		}
+		return u
 
 	case *javaast.Assign:
 		return an.evalAssign(x, st, fr, depth)
@@ -86,14 +111,18 @@ func (an *analyzer) eval(e javaast.Expr, st *absdom.State, fr *frame, depth int)
 		an.eval(x.C, st, fr, depth)
 		t := an.eval(x.T, st, fr, depth)
 		f := an.eval(x.F, st, fr, depth)
-		return absdom.Join(t, f)
+		return absdom.JoinIn(&an.provArena, t, f)
 
 	case *javaast.Cast:
 		v := an.eval(x.X, st, fr, depth)
 		// A cast asserts the value's runtime type: any unknown object value
 		// refines to the ⊤ of the cast target (e.g. (byte[]) loaded()).
 		if !v.IsValid() || v.Kind == absdom.KTopObj {
-			return absdom.TopOfType(x.Type.Base(), x.Type.Dims)
+			c := absdom.TopOfType(x.Type.Base(), x.Type.Dims)
+			if an.provOn && v.Prov != nil {
+				c.Prov = an.prov1(absdom.ProvDerived, x, shCast, x.Type.Base(), v.Prov)
+			}
+			return c
 		}
 		return v
 
@@ -148,7 +177,11 @@ func (an *analyzer) lookupField(ci *classInfo, name string, st *absdom.State) (a
 	if v, bound := st.LookupField(ci.decl.Name + "." + name); bound {
 		return v, true
 	}
-	return absdom.TopOfType(fd.Type.Base(), fd.Type.Dims), true
+	v := absdom.TopOfType(fd.Type.Base(), fd.Type.Dims)
+	if an.provOn {
+		v.Prov = an.prov0x(absdom.ProvField, fd, shFieldUnbound, ci.decl.Name, name)
+	}
+	return v, true
 }
 
 func (an *analyzer) evalFieldAccess(x *javaast.FieldAccess, st *absdom.State, fr *frame, depth int) absdom.Value {
@@ -216,6 +249,9 @@ func (an *analyzer) staticFieldValue(ci *classInfo, fd *javaast.FieldDecl) absdo
 	tmp := absdom.NewState()
 	tmpFr := &frame{an: an, ci: ci, varTypes: map[string]*javaast.TypeRef{}}
 	v := refine(an.eval(fd.Init, tmp, tmpFr, 0), fd.Type)
+	if an.provOn {
+		v.Prov = an.prov1x(absdom.ProvField, fd, shStaticField, ci.decl.Name, fd.Name, v.Prov)
+	}
 	an.curFile = savedFile
 	an.constBusy[fd] = false
 	an.constCache[fd] = v
@@ -283,7 +319,11 @@ func (an *analyzer) evalCall(c *javaast.Call, st *absdom.State, fr *frame, depth
 	_, recvIsThis := c.Recv.(*javaast.This)
 	if c.Recv == nil || recvIsThis {
 		if ms := an.pickMethod(fr.ci, c.Name, len(args)); ms != nil {
-			return an.inlineCall(fr.ci, ms, args, st, depth)
+			ret := an.inlineCall(fr.ci, ms, args, st, depth)
+			if an.provOn && ret.Prov != nil {
+				ret.Prov = an.prov1(absdom.ProvCall, c, shInlined, c.Name, ret.Prov)
+			}
+			return ret
 		}
 		return absdom.TopObj("")
 	}
@@ -301,34 +341,59 @@ func (an *analyzer) evalCall(c *javaast.Call, st *absdom.State, fr *frame, depth
 			}
 			if ci2, isClass := an.classes[base]; isClass {
 				if ms := an.pickMethod(ci2, c.Name, len(args)); ms != nil {
-					return an.inlineCall(ci2, ms, args, st, depth)
+					ret := an.inlineCall(ci2, ms, args, st, depth)
+					if an.provOn && ret.Prov != nil {
+						ret.Prov = an.prov1x(absdom.ProvCall, c, shInlinedQual, base, c.Name, ret.Prov)
+					}
+					return ret
 				}
 				return absdom.TopObj("")
 			}
 			if v, ok := foldWellKnownStatic(base, c.Name, args); ok {
+				if an.provOn {
+					p0, p1 := argProvs(args)
+					v.Prov = an.prov2x(absdom.ProvCall, c, shCallQual, base, c.Name, p0, p1)
+				}
 				return v
 			}
 		}
 	}
 	// Decoder-instance chains: Base64.getDecoder().decode("...").
 	if v, ok := an.foldDecoderChain(c, args, st, fr, depth); ok {
+		if an.provOn {
+			p0, p1 := argProvs(args)
+			v.Prov = an.prov2(absdom.ProvCall, c, shBase64, c.Name, p0, p1)
+		}
 		return v
 	}
 
 	// Instance call through an object value.
 	recv := an.eval(c.Recv, st, fr, depth)
 	if recv.Kind == absdom.KStrConst {
-		return foldStringMethod(recv.Payload, c.Name, args)
+		v := foldStringMethod(recv.Payload, c.Name, args)
+		if an.provOn {
+			p0, _ := argProvs(args)
+			v.Prov = an.prov2(absdom.ProvCall, c, shStringMethod, c.Name, recv.Prov, p0)
+		}
+		return v
 	}
 	if recv.Kind == absdom.KObj && cryptoapi.IsAPIClass(recv.Obj.Type) {
 		sig, found := cryptoapi.LookupMethod(recv.Obj.Type, c.Name, len(args))
 		if !found {
 			sig = genericSig(recv.Obj.Type, c.Name, args)
 		}
-		an.record(recv.Obj, Event{Sig: sig, Args: args})
+		an.record(recv.Obj, Event{Sig: sig, Args: args, File: an.fileName(), Pos: c.Pos()})
 		an.applyCallEffects(recv.Obj.Type, c, st, fr)
 		if sig.Ret != "" {
-			return topOfRetType(sig.Ret)
+			v := topOfRetType(sig.Ret)
+			if an.provOn {
+				p0, p1 := argProvs(args)
+				if p0 == nil {
+					p0 = recv.Prov
+				}
+				v.Prov = an.prov2x(absdom.ProvCall, c, shCallResult, sig.Class, sig.Name, p0, p1)
+			}
+			return v
 		}
 		return absdom.Value{}
 	}
@@ -342,8 +407,13 @@ func (an *analyzer) apiStaticCall(class string, c *javaast.Call, args []absdom.V
 	sig, found := cryptoapi.LookupMethod(class, c.Name, len(args))
 	if found && sig.Static && sig.Ret != "" {
 		obj := an.allocObj(an.fileOf(c), c, sig.Ret)
-		an.record(obj, Event{Sig: sig, Args: args})
-		return absdom.ObjRef(obj)
+		an.record(obj, Event{Sig: sig, Args: args, File: an.fileName(), Pos: c.Pos()})
+		v := absdom.ObjRef(obj)
+		if an.provOn {
+			p0, p1 := argProvs(args)
+			v.Prov = an.prov2x(absdom.ProvAlloc, c, shCallQual, class, c.Name, p0, p1)
+		}
+		return v
 	}
 	return absdom.TopObj("")
 }
@@ -469,8 +539,13 @@ func (an *analyzer) evalNew(x *javaast.New, st *absdom.State, fr *frame, depth i
 	if !found {
 		sig = genericSig(typ, "<init>", args)
 	}
-	an.record(obj, Event{Sig: sig, Args: args})
-	return absdom.ObjRef(obj)
+	an.record(obj, Event{Sig: sig, Args: args, File: an.fileName(), Pos: x.Pos()})
+	v := absdom.ObjRef(obj)
+	if an.provOn {
+		p0, p1 := argProvs(args)
+		v.Prov = an.prov2(absdom.ProvAlloc, x, shNew, typ, p0, p1)
+	}
+	return v
 }
 
 func (an *analyzer) evalNewArray(x *javaast.NewArray, st *absdom.State, fr *frame, depth int) absdom.Value {
@@ -486,30 +561,38 @@ func (an *analyzer) evalNewArray(x *javaast.NewArray, st *absdom.State, fr *fram
 		}
 		labels = append(labels, v.Label())
 	}
+	var v absdom.Value
 	switch x.Type.Name {
 	case "byte", "char":
 		// Both "new byte[]{...}" with constant elements and "new byte[n]"
 		// (an all-zero buffer until someone fills it) are constant arrays.
 		if elemConst {
-			return absdom.ConstByteArr()
+			v = absdom.ConstByteArr()
+		} else {
+			v = absdom.TopByteArr()
 		}
-		return absdom.TopByteArr()
 	case "int", "long", "short":
-		if x.HasInit && elemConst {
-			return absdom.IntArrConst(strings.Join(labels, ","))
+		switch {
+		case x.HasInit && elemConst:
+			v = absdom.IntArrConst(strings.Join(labels, ","))
+		case !x.HasInit:
+			v = absdom.IntArrConst("zero")
+		default:
+			v = absdom.TopIntArr()
 		}
-		if !x.HasInit {
-			return absdom.IntArrConst("zero")
-		}
-		return absdom.TopIntArr()
 	case "String":
 		if x.HasInit && elemConst {
-			return absdom.StrArrConst(strings.Join(labels, ","))
+			v = absdom.StrArrConst(strings.Join(labels, ","))
+		} else {
+			v = absdom.TopStrArr()
 		}
-		return absdom.TopStrArr()
 	default:
-		return absdom.TopObj(x.Type.Name + "[]")
+		v = absdom.TopObj(x.Type.Name + "[]")
 	}
+	if an.provOn {
+		v.Prov = an.prov0(absdom.ProvLiteral, x, shNewArray, x.Type.Name)
+	}
+	return v
 }
 
 // evalAssign handles simple and compound assignment.
@@ -526,6 +609,9 @@ func (an *analyzer) evalAssign(x *javaast.Assign, st *absdom.State, fr *frame, d
 func (an *analyzer) assignTo(lhs javaast.Expr, v absdom.Value, st *absdom.State, fr *frame, depth int) {
 	switch l := lhs.(type) {
 	case *javaast.Name:
+		if an.provOn && v.Prov != nil {
+			v.Prov = an.prov1(absdom.ProvAssign, l, shAssigned, l.Ident, v.Prov)
+		}
 		if _, isVar := st.LookupVar(l.Ident); isVar {
 			if t, ok := fr.varTypes[l.Ident]; ok {
 				v = refine(v, t)
@@ -539,6 +625,9 @@ func (an *analyzer) assignTo(lhs javaast.Expr, v absdom.Value, st *absdom.State,
 		}
 		st.SetVar(l.Ident, v)
 	case *javaast.FieldAccess:
+		if an.provOn && v.Prov != nil {
+			v.Prov = an.prov1(absdom.ProvAssign, l, shAssignedField, l.Name, v.Prov)
+		}
 		if _, isThis := l.X.(*javaast.This); isThis {
 			if fd, isField := fr.ci.fields[l.Name]; isField {
 				st.SetField(fr.ci.decl.Name+"."+l.Name, refine(v, fd.Type))

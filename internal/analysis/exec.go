@@ -35,7 +35,7 @@ func (f *frame) cap(states []*absdom.State) []*absdom.State {
 	}
 	base := states[max-1]
 	for _, s := range states[max:] {
-		base.Join(s)
+		base.JoinIn(s, &f.an.provArena)
 	}
 	return states[:max]
 }
@@ -53,7 +53,11 @@ func (f *frame) execStmt(s javaast.Stmt, states []*absdom.State, depth int) []*a
 			if x.Init != nil {
 				v = f.an.eval(x.Init, st, f, depth)
 			}
-			st.SetVar(x.Name, refine(v, x.Type))
+			v = refine(v, x.Type)
+			if f.an.provOn && v.Prov != nil {
+				v.Prov = f.an.prov1(absdom.ProvAssign, x, shAssigned, x.Name, v.Prov)
+			}
+			st.SetVar(x.Name, v)
 		}
 		return states
 

@@ -48,3 +48,53 @@ func MustWorkers(tool string, n int) int {
 	}
 	return n
 }
+
+// WhyMode is the parsed value of the uniform -why flag.
+type WhyMode string
+
+// The three -why settings: off (default), text traces, JSON traces.
+const (
+	WhyOff  WhyMode = ""
+	WhyText WhyMode = "text"
+	WhyJSON WhyMode = "json"
+)
+
+// On reports whether witness traces were requested in any form.
+func (m WhyMode) On() bool { return m != WhyOff }
+
+// whyValue adapts WhyMode to the flag package. IsBoolFlag lets the flag
+// appear bare (-why, meaning text) or valued (-why=json).
+type whyValue struct{ m *WhyMode }
+
+func (w whyValue) String() string {
+	if w.m == nil {
+		return ""
+	}
+	return string(*w.m)
+}
+
+func (w whyValue) Set(s string) error {
+	switch s {
+	case "true", "text":
+		*w.m = WhyText
+	case "false", "":
+		*w.m = WhyOff
+	case "json":
+		*w.m = WhyJSON
+	default:
+		return fmt.Errorf("must be 'text' or 'json' (got %q)", s)
+	}
+	return nil
+}
+
+func (w whyValue) IsBoolFlag() bool { return true }
+
+// WhyFlag registers the uniform -why flag on the default flag set: bare
+// -why prints a witness trace for every violation, -why=json emits the
+// traces as JSON. Off by default; with the flag off, tool output is
+// byte-identical to a build without witness support.
+func WhyFlag() *WhyMode {
+	m := WhyOff
+	flag.Var(whyValue{&m}, "why", "explain each violation with its witness trace (origin → defs → sink); -why=json for JSON")
+	return &m
+}

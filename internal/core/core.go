@@ -20,9 +20,11 @@ import (
 	"repro/internal/mining"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/rules"
 	"repro/internal/usage"
+	"repro/internal/witness"
 )
 
 // Options configures the DiffCode pipeline.
@@ -362,6 +364,30 @@ func (c *CryptoChecker) CheckSources(sources map[string]string, ctx rules.Contex
 	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
 	reg.Counter("checker.violations").Add(int64(len(violations)))
 	return violations
+}
+
+// CheckSourcesWhy is CheckSources with witness reconstruction: the analysis
+// runs with provenance tracking enabled, the violations come back sorted by
+// source location (file, line, rule ID — the -why report order), and every
+// violation carries its witness traces. Provenance is observation-only, so
+// the violation *set* is exactly CheckSources'; only the order of the
+// returned slice and the extra traces differ.
+func (c *CryptoChecker) CheckSourcesWhy(sources map[string]string, ctx rules.Context) ([]rules.Violation, []witness.Trace) {
+	reg := c.opts.Metrics
+	pool := c.opts.pool()
+	sp := reg.StartSpan("check")
+	aopts := c.opts.Analysis
+	aopts.Provenance = true
+	res := analysis.Analyze(analysis.ParseProgramPool(sources, reg, pool), aopts)
+	violations := rules.CheckPool(res, ctx, c.Rules, pool)
+	sp.End()
+	reg.Counter("checker.programs").Inc()
+	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
+	reg.Counter("checker.violations").Add(int64(len(violations)))
+	sorted := report.SortViolations(violations, res)
+	traces := witness.Collect(sorted, res, ctx)
+	witness.Observe(reg, traces)
+	return sorted, traces
 }
 
 // CheckProject checks a corpus project snapshot.

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/cryptoapi"
+	"repro/internal/witness"
 )
 
 // The determinism suite pins the PR's central contract: every result a user
@@ -107,11 +109,11 @@ func TestDeterminismDistCacheOnOff(t *testing.T) {
 	}
 }
 
-// checkerFingerprint runs CheckProject over every project at the given
-// worker count and serializes the violations in report order.
-func checkerFingerprint(c *corpus.Corpus, workers int) string {
+// checkerFingerprint runs CheckProject over every project under the given
+// options and serializes the violations in report order.
+func checkerFingerprint(c *corpus.Corpus, opts Options) string {
 	var sb strings.Builder
-	checker := NewChecker(nil, Options{Workers: workers})
+	checker := NewChecker(nil, opts)
 	for _, p := range c.Projects {
 		fmt.Fprintf(&sb, "%s:\n", p.Name)
 		for _, v := range checker.CheckProject(p) {
@@ -129,13 +131,71 @@ func checkerFingerprint(c *corpus.Corpus, workers int) string {
 // order and witness order — is identical at workers 1, 2, and 8.
 func TestDeterminismCheckSources(t *testing.T) {
 	c := determinismCorpus()
-	want := checkerFingerprint(c, 1)
+	want := checkerFingerprint(c, Options{Workers: 1})
 	if !strings.Contains(want, "R") {
 		t.Fatalf("no violations found; fingerprint exercises too little")
 	}
 	for _, w := range []int{2, 8} {
-		if got := checkerFingerprint(c, w); got != want {
+		if got := checkerFingerprint(c, Options{Workers: w}); got != want {
 			t.Errorf("workers=%d: checker fingerprint differs from workers=1", w)
+		}
+	}
+}
+
+// TestDeterminismProvenanceObservationOnly pins the -why invariant at the
+// library level: enabling provenance tracking changes nothing about the
+// violation list — same rules, same witnessing objects, same order — at
+// every worker count. Provenance decorates abstract values; it never feeds
+// back into the lattice, the joins, or the rule predicates.
+func TestDeterminismProvenanceObservationOnly(t *testing.T) {
+	c := determinismCorpus()
+	want := checkerFingerprint(c, Options{Workers: 1})
+	if !strings.Contains(want, "R") {
+		t.Fatalf("no violations found; fingerprint exercises too little")
+	}
+	for _, w := range []int{1, 2, 8} {
+		got := checkerFingerprint(c, Options{Workers: w, Analysis: analysis.Options{Provenance: true}})
+		if got != want {
+			t.Errorf("workers=%d: provenance-on checker fingerprint differs from provenance-off\ngot:\n%.800s\nwant:\n%.800s", w, got, want)
+		}
+	}
+}
+
+// whyFingerprint runs CheckSourcesWhy over every project and serializes the
+// sorted violations plus every rendered witness trace.
+func whyFingerprint(c *corpus.Corpus, opts Options) string {
+	var sb strings.Builder
+	checker := NewChecker(nil, opts)
+	for _, p := range c.Projects {
+		fmt.Fprintf(&sb, "%s:\n", p.Name)
+		vs, traces := checker.CheckSourcesWhy(p.Files, ContextOf(p))
+		for _, v := range vs {
+			fmt.Fprintf(&sb, "  %s", v.Rule.ID)
+			for _, o := range v.Objs {
+				fmt.Fprintf(&sb, " %s@%d", o.SiteLabel(), o.Site.Line)
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString(witness.Render(traces))
+	}
+	return sb.String()
+}
+
+// TestDeterminismWitnessTraces asserts the full -why surface — the
+// location-sorted violation list and every rendered witness trace — is
+// byte-identical at workers 1, 2, and 8, with the distance cache on and off.
+func TestDeterminismWitnessTraces(t *testing.T) {
+	c := determinismCorpus()
+	want := whyFingerprint(c, Options{Workers: 1})
+	if !strings.Contains(want, "sink:") {
+		t.Fatalf("no witness traces produced; fingerprint exercises too little")
+	}
+	for _, w := range []int{1, 2, 8} {
+		if got := whyFingerprint(c, Options{Workers: w}); got != want {
+			t.Errorf("workers=%d: -why fingerprint differs from workers=1", w)
+		}
+		if got := whyFingerprint(c, Options{Workers: w, DisableDistCache: true}); got != want {
+			t.Errorf("workers=%d (cache off): -why fingerprint differs from workers=1", w)
 		}
 	}
 }

@@ -1,0 +1,221 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/analysis"
+	"repro/internal/cryptoapi"
+)
+
+// Evidence pinpoints, per witnessing object, which recorded usage events a
+// rule actually matched on and which argument positions were decisive. The
+// witness reconstruction uses it to start traces at the right sink call and
+// the right sink arguments instead of dumping every event of the object.
+
+// EventMatch identifies one matched usage event of an object.
+type EventMatch struct {
+	// EventIndex indexes into res.Uses[obj].
+	EventIndex int
+	// Args lists the argument positions the rule predicate inspected (the
+	// "interesting" values whose provenance a witness trace should follow).
+	// Empty means the event itself — not a particular argument — is the
+	// evidence (e.g. R4's getInstanceStrong).
+	Args []int
+}
+
+// EvidenceFn locates the events of one object that satisfy a clause.
+type EvidenceFn func(res *analysis.Result, obj *absdom.AObj, ctx Context) []EventMatch
+
+// Evidence maps each witnessing object of the violation to the events that
+// made it match. Clauses that carry a Find function report exact matches;
+// clauses without one (DSL-compiled and custom rules) fall back to every
+// event of the object with its constant arguments marked. The result is
+// deterministic: matches are ordered by event index with sorted, deduplicated
+// argument lists.
+func (v Violation) Evidence(res *analysis.Result, ctx Context) map[*absdom.AObj][]EventMatch {
+	out := make(map[*absdom.AObj][]EventMatch, len(v.Objs))
+	for _, obj := range v.Objs {
+		var matches []EventMatch
+		for _, c := range v.Rule.Clauses {
+			if c.Negated || c.Class != obj.Type {
+				continue
+			}
+			if c.Pred != nil && !c.Pred(res, obj, ctx) {
+				continue
+			}
+			if c.Find != nil {
+				matches = append(matches, c.Find(res, obj, ctx)...)
+			}
+		}
+		if len(matches) == 0 {
+			matches = fallbackEvidence(res, obj)
+		}
+		out[obj] = dedupeMatches(matches)
+	}
+	return out
+}
+
+// fallbackEvidence marks every event of the object, flagging its constant
+// arguments — the best generic guess for rules compiled from the DSL or
+// registered programmatically, which only expose an opaque predicate.
+func fallbackEvidence(res *analysis.Result, obj *absdom.AObj) []EventMatch {
+	evs := res.Uses[obj]
+	matches := make([]EventMatch, 0, len(evs))
+	for i, ev := range evs {
+		var args []int
+		for j, a := range ev.Args {
+			if a.IsConst() {
+				args = append(args, j)
+			}
+		}
+		matches = append(matches, EventMatch{EventIndex: i, Args: args})
+	}
+	return matches
+}
+
+// dedupeMatches merges matches of the same event (several clauses can hit
+// the same call) and canonicalizes ordering.
+func dedupeMatches(matches []EventMatch) []EventMatch {
+	if len(matches) == 0 {
+		return nil
+	}
+	byEvent := map[int][]int{}
+	for _, m := range matches {
+		byEvent[m.EventIndex] = append(byEvent[m.EventIndex], m.Args...)
+	}
+	idxs := make([]int, 0, len(byEvent))
+	for i := range byEvent {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]EventMatch, 0, len(idxs))
+	for _, i := range idxs {
+		args := byEvent[i]
+		sort.Ints(args)
+		uniq := args[:0]
+		for _, a := range args {
+			if len(uniq) == 0 || uniq[len(uniq)-1] != a {
+				uniq = append(uniq, a)
+			}
+		}
+		out = append(out, EventMatch{EventIndex: i, Args: uniq})
+	}
+	return out
+}
+
+// findEvents is the evidence twin of existsEvent: it returns every event
+// with the given method name that test accepts, where test also names the
+// decisive argument positions.
+func findEvents(res *analysis.Result, obj *absdom.AObj, method string, test func(analysis.Event) (bool, []int)) []EventMatch {
+	var out []EventMatch
+	for i, ev := range res.Uses[obj] {
+		if method != "" && ev.Sig.Name != method {
+			continue
+		}
+		if test == nil {
+			out = append(out, EventMatch{EventIndex: i})
+			continue
+		}
+		if ok, args := test(ev); ok {
+			out = append(out, EventMatch{EventIndex: i, Args: args})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule evidence finders (mirrors of the predicates in registry.go)
+// ---------------------------------------------------------------------------
+
+func findDigestWeak(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "getInstance", func(ev analysis.Event) (bool, []int) {
+		s, ok := argStr(ev, 0)
+		return ok && isWeakDigest(s), []int{0}
+	})
+}
+
+func findPBEIterations(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "<init>", func(ev analysis.Event) (bool, []int) {
+		if len(ev.Args) < 3 {
+			return false, nil
+		}
+		return argIntLess(ev, 2, cryptoapi.MinPBEIterations), []int{2}
+	})
+}
+
+func findNotSHA1PRNG(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	out := findEvents(res, obj, "<init>", nil)
+	out = append(out, findEvents(res, obj, "getInstance", func(ev analysis.Event) (bool, []int) {
+		s, ok := argStr(ev, 0)
+		if !ok {
+			return true, nil
+		}
+		return normalizeAlg(s) != cryptoapi.SHA1PRNG, []int{0}
+	})...)
+	return out
+}
+
+func findInstanceStrong(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "getInstanceStrong", nil)
+}
+
+func findNotBouncyCastle(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "getInstance", func(ev analysis.Event) (bool, []int) {
+		if len(ev.Args) >= 2 {
+			s, ok := argStr(ev, 1)
+			return !ok || s != cryptoapi.ProviderBouncyCastle, []int{1}
+		}
+		return true, nil // the missing provider argument is the evidence
+	})
+}
+
+func findAndroidPRNG(res *analysis.Result, obj *absdom.AObj, ctx Context) []EventMatch {
+	if ctx.HasLPRNG || ctx.MinSDKVersion < 16 {
+		return nil
+	}
+	out := findEvents(res, obj, "<init>", nil)
+	out = append(out, findEvents(res, obj, "getInstance", nil)...)
+	return out
+}
+
+func findECB(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "getInstance", func(ev analysis.Event) (bool, []int) {
+		s, ok := argStr(ev, 0)
+		return ok && isECBTransformation(s), []int{0}
+	})
+}
+
+func findDES(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "getInstance", func(ev analysis.Event) (bool, []int) {
+		s, ok := argStr(ev, 0)
+		if !ok {
+			return false, nil
+		}
+		return normalizeAlg(cryptoapi.ParseTransformation(s).Algorithm) == "DES", []int{0}
+	})
+}
+
+func findCtorConstArg(i int) EvidenceFn {
+	return func(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+		return findEvents(res, obj, "<init>", func(ev analysis.Event) (bool, []int) {
+			return argIsConstData(ev, i), []int{i}
+		})
+	}
+}
+
+func findStaticSeed(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+	return findEvents(res, obj, "setSeed", func(ev analysis.Event) (bool, []int) {
+		return argIsConstData(ev, 0), []int{0}
+	})
+}
+
+func findTransformPrefix(prefix string) EvidenceFn {
+	return func(res *analysis.Result, obj *absdom.AObj, _ Context) []EventMatch {
+		return findEvents(res, obj, "getInstance", func(ev analysis.Event) (bool, []int) {
+			s, ok := argStr(ev, 0)
+			return ok && strings.HasPrefix(normalizeAlg(s), normalizeAlg(prefix)), []int{0}
+		})
+	}
+}

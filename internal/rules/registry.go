@@ -16,7 +16,7 @@ var (
 		Description: "Use SHA-256 instead of SHA-1",
 		Formula:     "MessageDigest : getInstance(X) ∧ X=SHA-1",
 		Ref:         "Stevens et al., the first SHA-1 collision (2017)",
-		Clauses:     []Clause{{Class: cryptoapi.MessageDigest, Pred: predDigestWeak}},
+		Clauses:     []Clause{{Class: cryptoapi.MessageDigest, Pred: predDigestWeak, Find: findDigestWeak}},
 	}
 
 	// R2: PBE iteration count must be at least 1000.
@@ -25,7 +25,7 @@ var (
 		Description: "Do not use password-based encryption with iteration count less than 1000",
 		Formula:     "PBEKeySpec : <init>(_,_,X,_) ∧ X<1000",
 		Ref:         "Abadi & Warinschi, Password-Based Encryption Analyzed (2005)",
-		Clauses:     []Clause{{Class: cryptoapi.PBEKeySpec, Pred: predPBEIterations}},
+		Clauses:     []Clause{{Class: cryptoapi.PBEKeySpec, Pred: predPBEIterations, Find: findPBEIterations}},
 	}
 
 	// R3: SecureRandom should be used with SHA1PRNG.
@@ -34,7 +34,7 @@ var (
 		Description: "SecureRandom should be used with SHA1PRNG",
 		Formula:     "SecureRandom : <init>(X) ∧ X≠SHA-1PRNG",
 		Ref:         "The Right Way to Use SecureRandom (2015)",
-		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predNotSHA1PRNG}},
+		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predNotSHA1PRNG, Find: findNotSHA1PRNG}},
 	}
 
 	// R4: avoid getInstanceStrong on server-side code.
@@ -43,7 +43,7 @@ var (
 		Description: "SecureRandom with getInstanceStrong should be avoided",
 		Formula:     "SecureRandom : ¬getInstanceStrong",
 		Ref:         "Proper use of Java SecureRandom (2016)",
-		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predInstanceStrong}},
+		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predInstanceStrong, Find: findInstanceStrong}},
 	}
 
 	// R5: use the BouncyCastle provider for Cipher.
@@ -52,7 +52,7 @@ var (
 		Description: "Use the BouncyCastle provider for Cipher",
 		Formula:     "Cipher : getInstance(_,X) ∧ X≠BC",
 		Ref:         "Bouncy Castle vs JCA key-size restrictions (2016)",
-		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predNotBouncyCastle}},
+		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predNotBouncyCastle, Find: findNotBouncyCastle}},
 	}
 
 	// R6: Android SecureRandom PRNG vulnerability on SDK 16-18.
@@ -61,7 +61,7 @@ var (
 		Description:   "The underlying PRNG is vulnerable on Android v16-18",
 		Formula:       "SecureRandom : <init>(_) ∧ ¬LPRNG ∧ MIN_SDK_VERSION≥16",
 		Ref:           "Kaplan et al., Attacking the Linux PRNG on Android (WOOT'14)",
-		Clauses:       []Clause{{Class: cryptoapi.SecureRandom, Pred: predAndroidPRNG}},
+		Clauses:       []Clause{{Class: cryptoapi.SecureRandom, Pred: predAndroidPRNG, Find: findAndroidPRNG}},
 		ApplicableCtx: func(ctx Context) bool { return ctx.Android },
 	}
 
@@ -71,7 +71,7 @@ var (
 		Description: "Do not use Cipher in AES/ECB mode",
 		Formula:     "Cipher : getInstance(X) ∧ (X=AES ∨ X=AES/ECB)",
 		Ref:         "Bellare & Rogaway, Introduction to Modern Cryptography",
-		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predECB}},
+		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predECB, Find: findECB}},
 	}
 
 	// R8: do not use DES.
@@ -80,7 +80,7 @@ var (
 		Description: "Do not use Cipher with DES mode",
 		Formula:     "Cipher : getInstance(X) ∧ X=DES",
 		Ref:         "CERT MSC61-J: do not use insecure or weak cryptographic algorithms",
-		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predDES}},
+		Clauses:     []Clause{{Class: cryptoapi.Cipher, Pred: predDES, Find: findDES}},
 	}
 
 	// R9: IV must not be a static byte array.
@@ -89,7 +89,7 @@ var (
 		Description: "IvParameterSpec should not be initialized with a static byte array",
 		Formula:     "IvParameterSpec : <init>(X) ∧ X≠⊤byte[]",
 		Ref:         "Bellare & Rogaway, Introduction to Modern Cryptography",
-		Clauses:     []Clause{{Class: cryptoapi.IvParameterSpec, Pred: predCtorConstArg(0)}},
+		Clauses:     []Clause{{Class: cryptoapi.IvParameterSpec, Pred: predCtorConstArg(0), Find: findCtorConstArg(0)}},
 	}
 
 	// R10: secret keys must not be static.
@@ -98,7 +98,7 @@ var (
 		Description: "SecretKeySpec should not be static",
 		Formula:     "SecretKeySpec : <init>(X) ∧ X≠⊤byte[]",
 		Ref:         "CryptoLint rule 3 (Egele et al., CCS'13)",
-		Clauses:     []Clause{{Class: cryptoapi.SecretKeySpec, Pred: predCtorConstArg(0)}},
+		Clauses:     []Clause{{Class: cryptoapi.SecretKeySpec, Pred: predCtorConstArg(0), Find: findCtorConstArg(0)}},
 	}
 
 	// R11: PBE salt must not be static.
@@ -107,7 +107,7 @@ var (
 		Description: "Do not use password-based encryption with static salt",
 		Formula:     "PBEKeySpec : <init>(_,X,_,_) ∧ X≠⊤byte[]",
 		Ref:         "CryptoLint rule 4 (Egele et al., CCS'13)",
-		Clauses:     []Clause{{Class: cryptoapi.PBEKeySpec, Pred: predCtorConstArg(1)}},
+		Clauses:     []Clause{{Class: cryptoapi.PBEKeySpec, Pred: predCtorConstArg(1), Find: findCtorConstArg(1)}},
 	}
 
 	// R12: SecureRandom seeds must not be static.
@@ -116,7 +116,7 @@ var (
 		Description: "Do not use SecureRandom static seed",
 		Formula:     "SecureRandom : setSeed(X) ∧ X≠⊤byte[]",
 		Ref:         "CryptoLint rule 6 (Egele et al., CCS'13)",
-		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predStaticSeed}},
+		Clauses:     []Clause{{Class: cryptoapi.SecureRandom, Pred: predStaticSeed, Find: findStaticSeed}},
 	}
 
 	// R13: integrity is missing after an RSA-based symmetric key exchange.
@@ -127,8 +127,8 @@ var (
 			"(Cipher : getInstance(Y) ∧ Y=RSA) ∧ ¬(Mac : getInstance(Z) ∧ startsWith(Z,Hmac))",
 		Ref: "Top 10 developer crypto mistakes (2017)",
 		Clauses: []Clause{
-			{Class: cryptoapi.Cipher, Pred: predTransformPrefix("AES/CBC")},
-			{Class: cryptoapi.Cipher, Pred: predTransformPrefix("RSA")},
+			{Class: cryptoapi.Cipher, Pred: predTransformPrefix("AES/CBC"), Find: findTransformPrefix("AES/CBC")},
+			{Class: cryptoapi.Cipher, Pred: predTransformPrefix("RSA"), Find: findTransformPrefix("RSA")},
 			{Class: cryptoapi.Mac, Negated: true, Pred: predMacHmac},
 		},
 	}

@@ -36,6 +36,11 @@ type Clause struct {
 	Class   string
 	Negated bool
 	Pred    ObjPred
+	// Find, when set, locates the events (and argument positions) the
+	// predicate matched on, for witness-trace evidence. It must accept
+	// exactly the events Pred accepts; clauses without one get fallback
+	// evidence. Negated clauses never produce evidence.
+	Find EvidenceFn
 }
 
 // Rule is a security rule t : φ (possibly composite, conjoining clauses

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short bench-baseline bench-compare bench-cache bench-why clean
+.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve clean
 
 all: build vet test
 
@@ -18,6 +18,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the analysis server (checker-as-a-service) on its default address.
+serve:
+	$(GO) run ./cmd/diffcoded
 
 # Full benchmark suite (figures + ablations + named perf benchmarks).
 bench:
@@ -51,5 +55,11 @@ bench-cache:
 bench-why:
 	BENCH_WHY_OUT=$(CURDIR)/BENCH_why.json $(GO) test -run TestWriteBenchWhy -count=1 -v .
 
+# Server throughput snapshot: concurrent /v1/check load through the full
+# admission → guard → analyze → respond ladder over real HTTP, into
+# BENCH_serve.json (same schema): req/sec plus p50/p99 request latency.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run TestWriteBenchServe -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json
+	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json

@@ -43,17 +43,13 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
-		workers   = cliutil.WorkersFlag()
-		// Accepted for CLI parity; generation runs no clustering, so there is
-		// no distance cache to toggle here.
-		_ = cliutil.DistCacheFlag()
+		// -why and -dist-cache are accepted for CLI parity; generation runs
+		// no analysis, clustering, or checking.
+		std = cliutil.StandardFlags("corpusgen")
 	)
-	flag.Parse()
-	cliutil.MustWorkers("corpusgen", *workers)
+	std.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "corpusgen: -out is required")
-		flag.Usage()
-		os.Exit(2)
+		cliutil.UsageError("corpusgen", "-out is required")
 	}
 	run, err := obs.NewCLI("corpusgen", *metrics, *debugAddr, *verbose)
 	if err != nil {
@@ -79,7 +75,7 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sp = run.Reg.StartSpan("save")
-	parallel.New(*workers, run.Reg).ForEach(ctx, len(c.Projects), func(i int) {
+	parallel.New(std.Workers(), run.Reg).ForEach(ctx, len(c.Projects), func(i int) {
 		p := c.Projects[i]
 		task := "project " + p.Name
 		err := resilience.Guard(task, func() error {

@@ -46,14 +46,13 @@ func main() {
 		failFast  = flag.Bool("fail-fast", false, "abort at the first unreadable input")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
-		why       = cliutil.WhyFlag()
-		workers   = cliutil.WorkersFlag()
-		// Accepted for CLI parity; checking runs no clustering, so there is
-		// no distance cache to toggle here.
-		_ = cliutil.DistCacheFlag()
+		// -dist-cache is accepted for CLI parity; checking runs no
+		// clustering, so there is no distance cache to toggle here.
+		std = cliutil.StandardFlags("cryptochecker")
 	)
-	flag.Parse()
-	cliutil.MustWorkers("cryptochecker", *workers)
+	std.Parse()
+	why := std.Why()
+	workers := std.Workers()
 
 	if *list {
 		for _, r := range rules.All() {
@@ -62,9 +61,7 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "cryptochecker: no input files")
-		flag.Usage()
-		os.Exit(2)
+		cliutil.UsageError("cryptochecker", "no input files")
 	}
 
 	// -v doubles as the telemetry-summary switch (it goes to stderr, so
@@ -81,8 +78,7 @@ func main() {
 		for _, id := range strings.Split(*ruleList, ",") {
 			r := rules.ByID(strings.TrimSpace(id))
 			if r == nil {
-				fmt.Fprintf(os.Stderr, "cryptochecker: unknown rule %q\n", id)
-				os.Exit(2)
+				cliutil.UsageError("cryptochecker", "unknown rule %q", id)
 			}
 			ruleSet = append(ruleSet, r)
 		}
@@ -140,7 +136,7 @@ func main() {
 	// a pathological input degrades to a partial (or failed) check instead
 	// of a crash.
 	var res *analysis.Result
-	pool := parallel.New(*workers, run.Reg)
+	pool := parallel.New(workers, run.Reg)
 	sp := run.Reg.StartSpan("check")
 	err = resilience.Guard("analyze", func() error {
 		var aerr error
@@ -171,7 +167,7 @@ func main() {
 		sorted := report.SortViolations(violations, res)
 		traces := witness.Collect(sorted, res, ctx)
 		witness.Observe(run.Reg, traces)
-		if *why == cliutil.WhyJSON {
+		if why == cliutil.WhyJSON {
 			fmt.Print(witness.JSON(traces))
 		} else {
 			fmt.Print(witness.Render(traces))
@@ -198,12 +194,12 @@ func main() {
 	}
 	run.Flush(ledger, false)
 	if len(violations) > 0 {
-		if !*quiet && *why != cliutil.WhyJSON {
+		if !*quiet && why != cliutil.WhyJSON {
 			fmt.Printf("\n%d rule(s) matched across %d file(s)\n", len(violations), len(sources))
 		}
 		os.Exit(1)
 	}
-	if !*quiet && *why != cliutil.WhyJSON {
+	if !*quiet && why != cliutil.WhyJSON {
 		fmt.Printf("no rule violations across %d file(s)\n", len(sources))
 	}
 }

@@ -45,12 +45,10 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
-		why       = cliutil.WhyFlag()
-		workers   = cliutil.WorkersFlag()
-		distCache = cliutil.DistCacheFlag()
+		std       = cliutil.StandardFlags("diffcode")
 	)
-	flag.Parse()
-	cliutil.MustWorkers("diffcode", *workers)
+	std.Parse()
+	why := std.Why()
 
 	run, err := obs.NewCLI("diffcode", *metrics, *debugAddr, *verbose)
 	if err != nil {
@@ -63,32 +61,28 @@ func main() {
 		MaxErrors:        *maxErrors,
 		FailFast:         *failFast,
 		Metrics:          run.Reg,
-		Workers:          *workers,
-		DisableDistCache: !*distCache,
+		Workers:          std.Workers(),
+		DisableDistCache: !std.DistCache(),
 	}
 	classes := cryptoapi.TargetClasses
 	if *class != "" {
 		if !cryptoapi.IsTarget(*class) {
-			fmt.Fprintf(os.Stderr, "diffcode: unknown target class %q (want one of %v)\n",
+			cliutil.UsageError("diffcode", "unknown target class %q (want one of %v)",
 				*class, cryptoapi.TargetClasses)
-			os.Exit(2)
 		}
 		classes = []string{*class}
 	}
 
 	switch {
 	case *oldFile != "" && *newFile != "":
-		runSingle(run, *oldFile, *newFile, classes, opts, *showDiff, *dot, *why)
+		runSingle(run, *oldFile, *newFile, classes, opts, *showDiff, *dot, why)
 	case *corpusDir != "":
 		if why.On() {
-			fmt.Fprintln(os.Stderr, "diffcode: -why applies to single-change mode (-old/-new) only")
-			os.Exit(2)
+			cliutil.UsageError("diffcode", "-why applies to single-change mode (-old/-new) only")
 		}
 		runCorpus(run, *corpusDir, classes, opts)
 	default:
-		fmt.Fprintln(os.Stderr, "diffcode: need either -old/-new or -corpus")
-		flag.Usage()
-		os.Exit(2)
+		cliutil.UsageError("diffcode", "need either -old/-new or -corpus")
 	}
 }
 

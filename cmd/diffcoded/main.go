@@ -1,0 +1,115 @@
+// Command diffcoded is the checker-as-a-service daemon: a long-running
+// HTTP/JSON analysis server over the DiffCode/CryptoChecker pipeline.
+//
+//	diffcoded -addr :8371
+//
+// Endpoints:
+//
+//	POST /v1/check    source snippets → rule violations (+ witness traces)
+//	POST /v1/analyze  old/new change batches → semantic usage changes
+//	GET  /healthz     liveness
+//	GET  /readyz      readiness (503 while draining)
+//	GET  /metrics     live metrics snapshot (diffcode-metrics/v1)
+//	     /debug/      expvar-style vars + pprof
+//
+// Every request runs under panic isolation and a per-request step/wall
+// budget; overload sheds with 429 + Retry-After, sustained overload trips
+// a degraded mode that disables witness provenance, and SIGTERM drains
+// gracefully: stop accepting, finish in-flight requests within -drain,
+// then flush a final metrics snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8371", "listen address (host:port; :0 picks a free port)")
+		budget      = flag.Int64("budget", 2_000_000, "max abstract-interpretation steps per request (0 = unlimited)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request wall deadline (requests can only tighten it)")
+		concurrency = flag.Int("concurrency", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "max requests waiting for an analysis slot before shedding")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-drain budget for in-flight requests on SIGTERM")
+		metrics     = flag.String("metrics", "", "write a final JSON metrics snapshot to this file on shutdown")
+		verbose     = flag.Bool("v", false, "print a telemetry summary to stderr on shutdown")
+		// -why and -dist-cache are accepted for CLI parity; witness traces
+		// are a per-request option (the "why" request field) and the server
+		// endpoints run no clustering.
+		std = cliutil.StandardFlags("diffcoded")
+	)
+	std.Parse()
+
+	// A server is always instrumented: serve.* telemetry is how an operator
+	// sees shedding, degradation, and tail latency at all.
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Options{
+		Checker: core.Options{
+			BudgetSteps: *budget,
+			Workers:     std.Workers(),
+			Metrics:     reg,
+		},
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+	})
+
+	errc := make(chan error, 1)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	// Wait for the listener to bind so the address line is accurate.
+	for srv.Addr() == "" {
+		select {
+		case err := <-errc:
+			fmt.Fprintf(os.Stderr, "diffcoded: %v\n", err)
+			os.Exit(1)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "diffcoded: serving on http://%s (healthz, readyz, metrics, v1/check, v1/analyze)\n", srv.Addr())
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diffcoded: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "diffcoded: %v: draining (budget %s)\n", sig, *drain)
+		rep := srv.Drain()
+		fmt.Fprintf(os.Stderr, "diffcoded: drain complete: %d finished, %d dropped\n", rep.Finished, rep.Dropped)
+		flush(reg, *metrics, *verbose)
+		if rep.Dropped > 0 {
+			os.Exit(1)
+		}
+	}
+	flush(reg, *metrics, *verbose)
+}
+
+// flush writes the final metrics snapshot and summary; it is idempotent
+// enough for the two exit paths (a second write of the same snapshot file
+// is harmless).
+func flush(reg *obs.Registry, path string, verbose bool) {
+	if verbose {
+		fmt.Fprint(os.Stderr, reg.Summary())
+	}
+	if path != "" {
+		if err := obs.WriteSnapshotFile(path, reg, false); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcoded: writing metrics snapshot: %v\n", err)
+		}
+	}
+}

@@ -69,12 +69,12 @@ func main() {
 		failFast  = flag.Bool("fail-fast", false, "abort analysis at the first skipped change")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
-		workers   = cliutil.WorkersFlag()
-		distCache = cliutil.DistCacheFlag()
+		// -why is accepted for CLI parity; the evaluation harness prints
+		// figures, not per-violation traces.
+		std = cliutil.StandardFlags("evalrepro")
 	)
 	flag.StringVar(&outDir, "out", "", "also write each figure to <out>/figureN.txt")
-	flag.Parse()
-	cliutil.MustWorkers("evalrepro", *workers)
+	std.Parse()
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
@@ -96,8 +96,8 @@ func main() {
 		MaxErrors:        *maxErr,
 		FailFast:         *failFast,
 		Metrics:          run.Reg,
-		Workers:          *workers,
-		DisableDistCache: !*distCache,
+		Workers:          std.Workers(),
+		DisableDistCache: !std.DistCache(),
 	}
 
 	start := time.Now()

@@ -1,7 +1,8 @@
-// Package cliutil holds the small helpers shared by the four command-line
-// front-ends (diffcode, evalrepro, cryptochecker, corpusgen), so flags with
-// cross-tool contracts are registered and validated in exactly one place
-// instead of four drifting copies.
+// Package cliutil holds the small helpers shared by the five command-line
+// front-ends (diffcode, evalrepro, cryptochecker, corpusgen, diffcoded),
+// so flags with cross-tool contracts are registered and validated in
+// exactly one place instead of five drifting copies, and usage errors look
+// the same from every tool (one line, exit status 2).
 package cliutil
 
 import (
@@ -37,17 +38,61 @@ func ValidateWorkers(n int) error {
 	return nil
 }
 
-// MustWorkers validates a parsed -workers value for the named tool,
-// printing a usage error and exiting with status 2 (the CLIs' usage-error
-// convention) when it is invalid. Returns the value unchanged otherwise.
-func MustWorkers(tool string, n int) int {
-	if err := ValidateWorkers(n); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
-		flag.Usage()
-		os.Exit(2)
-	}
-	return n
+// UsageError reports a command-line usage error the uniform way across
+// every CLI: one "tool: message" line on stderr and exit status 2. No flag
+// dump — `tool -h` prints the flags; a usage error should say what was
+// wrong, not scroll it off screen.
+func UsageError(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	osExit(2)
 }
+
+// osExit is swapped out by tests that need to observe UsageError.
+var osExit = os.Exit
+
+// Standard is the shared cross-tool flag set, registered and validated in
+// one place so the tools cannot drift: -workers, -why, and -dist-cache
+// with identical names, defaults, and help text everywhere. Tools that
+// have no use for one of the flags still accept it (the established
+// parity convention — scripts pass a uniform flag set to every tool).
+type Standard struct {
+	tool      string
+	workers   *int
+	why       *WhyMode
+	distCache *bool
+}
+
+// StandardFlags registers the shared flag set for the named tool on the
+// default flag set. Call Parse after registering any tool-specific flags.
+func StandardFlags(tool string) *Standard {
+	return &Standard{
+		tool:      tool,
+		workers:   WorkersFlag(),
+		why:       WhyFlag(),
+		distCache: DistCacheFlag(),
+	}
+}
+
+// Parse parses the command line and validates the shared flags, reporting
+// violations through UsageError (single line, exit 2).
+func (s *Standard) Parse() {
+	flag.Parse()
+	if err := ValidateWorkers(*s.workers); err != nil {
+		UsageError(s.tool, "%v", err)
+	}
+}
+
+// Tool returns the tool name the flag set was registered for.
+func (s *Standard) Tool() string { return s.tool }
+
+// Workers returns the validated -workers value.
+func (s *Standard) Workers() int { return *s.workers }
+
+// Why returns the parsed -why mode.
+func (s *Standard) Why() WhyMode { return *s.why }
+
+// DistCache reports whether the memoized distance engine is enabled.
+func (s *Standard) DistCache() bool { return *s.distCache }
 
 // WhyMode is the parsed value of the uniform -why flag.
 type WhyMode string

@@ -1,7 +1,10 @@
 package cliutil
 
 import (
+	"flag"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -18,8 +21,89 @@ func TestValidateWorkers(t *testing.T) {
 	}
 }
 
-func TestMustWorkersPassesValidValue(t *testing.T) {
-	if got := MustWorkers("test", 3); got != 3 {
-		t.Errorf("MustWorkers(3) = %d, want 3", got)
+// captureUsageError runs fn with the exit hook intercepted and stderr
+// captured, returning the exit status (-1 if never called) and the message.
+func captureUsageError(t *testing.T, fn func()) (code int, msg string) {
+	t.Helper()
+	code = -1
+	osExit = func(c int) { code = c; panic("exit") }
+	defer func() { osExit = os.Exit }()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldErr := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = oldErr }()
+	func() {
+		defer func() { recover() }() // the exit hook panics to stop fn
+		fn()
+	}()
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return code, sb.String()
+}
+
+func TestUsageErrorSingleLineExit2(t *testing.T) {
+	code, msg := captureUsageError(t, func() {
+		UsageError("sometool", "unknown rule %q", "R99")
+	})
+	if code != 2 {
+		t.Errorf("exit status = %d, want 2", code)
+	}
+	want := "sometool: unknown rule \"R99\"\n"
+	if msg != want {
+		t.Errorf("stderr = %q, want %q (single line, no flag dump)", msg, want)
+	}
+}
+
+func TestStandardFlagsParseAndValidate(t *testing.T) {
+	oldCmd := flag.CommandLine
+	oldArgs := os.Args
+	defer func() { flag.CommandLine = oldCmd; os.Args = oldArgs }()
+
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	std := StandardFlags("test")
+	os.Args = []string{"test", "-workers", "3", "-why=json", "-dist-cache=false"}
+	std.Parse()
+	if std.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", std.Workers())
+	}
+	if std.Why() != WhyJSON {
+		t.Errorf("Why() = %q, want %q", std.Why(), WhyJSON)
+	}
+	if std.DistCache() {
+		t.Error("DistCache() = true, want false")
+	}
+	if std.Tool() != "test" {
+		t.Errorf("Tool() = %q, want %q", std.Tool(), "test")
+	}
+}
+
+func TestStandardFlagsRejectBadWorkers(t *testing.T) {
+	oldCmd := flag.CommandLine
+	oldArgs := os.Args
+	defer func() { flag.CommandLine = oldCmd; os.Args = oldArgs }()
+
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	std := StandardFlags("badtool")
+	os.Args = []string{"badtool", "-workers", "0"}
+	code, msg := captureUsageError(t, std.Parse)
+	if code != 2 {
+		t.Errorf("exit status = %d, want 2", code)
+	}
+	if !strings.HasPrefix(msg, "badtool: -workers must be at least 1") {
+		t.Errorf("stderr = %q, want the uniform single-line -workers message", msg)
+	}
+	if strings.Count(strings.TrimRight(msg, "\n"), "\n") != 0 {
+		t.Errorf("usage error spans multiple lines:\n%s", msg)
 	}
 }

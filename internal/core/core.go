@@ -159,13 +159,22 @@ func taskName(cc mining.CodeChange) string {
 // parsing or analysis, or an exhausted per-change budget, is returned as an
 // error instead of propagating.
 func (d *DiffCode) AnalyzeChange(cc mining.CodeChange) (*AnalyzedChange, error) {
-	a, _, err := d.analyzeChange(cc)
+	a, _, err := d.analyzeChange(context.Background(), cc)
+	return a, err
+}
+
+// AnalyzeChangeCtx is AnalyzeChange bound to a request context: the
+// per-change budget is tightened by ctx's deadline and the analysis aborts
+// early (resilience.ErrCanceled) once ctx is canceled. This is the
+// request-scoped entry point behind the analysis server's /v1/analyze.
+func (d *DiffCode) AnalyzeChangeCtx(ctx context.Context, cc mining.CodeChange) (*AnalyzedChange, error) {
+	a, _, err := d.analyzeChange(ctx, cc)
 	return a, err
 }
 
 // analyzeChange is AnalyzeChange plus the pipeline phase a failure belongs
 // to (parse vs analyze) for ledger bookkeeping.
-func (d *DiffCode) analyzeChange(cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
+func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
 	task := taskName(cc)
 	reg := d.opts.Metrics
 	var progOld, progNew *analysis.Program
@@ -191,7 +200,7 @@ func (d *DiffCode) analyzeChange(cc mining.CodeChange) (*AnalyzedChange, resilie
 	err = resilience.Guard(task, func() error {
 		// Both versions share one budget: the unit of skipping is the change.
 		aopts := d.opts.Analysis
-		aopts.Budget = resilience.NewBudget(d.opts.BudgetSteps, d.opts.BudgetWall)
+		aopts.Budget = resilience.NewBudgetContext(ctx, d.opts.BudgetSteps, d.opts.BudgetWall)
 		old, err := analysis.AnalyzeBudgeted(progOld, aopts)
 		if err != nil {
 			return err
@@ -239,8 +248,12 @@ func (d *DiffCode) AnalyzeAll(ccs []mining.CodeChange) []*AnalyzedChange {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var failures atomic.Int64
+	// Budgets inside the batch deliberately stay unbound from the cancel
+	// context: fail-fast/max-errors stop dispatching new changes, but
+	// in-flight changes finish and keep their slots (the documented abort
+	// semantics, and what keeps aborted-run output deterministic).
 	d.opts.pool().ForEach(ctx, len(ccs), func(i int) {
-		a, phase, err := d.analyzeChange(ccs[i])
+		a, phase, err := d.analyzeChange(context.Background(), ccs[i])
 		if err != nil {
 			d.record(ccs[i], phase, err)
 			n := failures.Add(1)
@@ -393,6 +406,55 @@ func (c *CryptoChecker) CheckSourcesWhy(sources map[string]string, ctx rules.Con
 // CheckProject checks a corpus project snapshot.
 func (c *CryptoChecker) CheckProject(p *corpus.Project) []rules.Violation {
 	return c.CheckSources(p.Files, ContextOf(p))
+}
+
+// CheckOutcome is the result of one request-scoped check.
+type CheckOutcome struct {
+	Violations []rules.Violation
+	// Traces holds the witness traces when the request asked for them; the
+	// violations are then in report order (file, line, rule ID). Nil when
+	// witnesses were not requested.
+	Traces []witness.Trace
+	Result *analysis.Result
+}
+
+// CheckRequest is the request-scoped entry point behind the analysis
+// server's /v1/check: one guarded, budgeted, cancelable check of a source
+// bundle. The whole parse+analyze+check runs under resilience.Guard, so a
+// panic on a pathological snippet comes back as a categorizable error
+// instead of killing the serving process, and the per-request budget is
+// tightened by ctx's deadline and trips early if ctx is canceled (a
+// disconnected client stops paying for analysis nobody will read).
+func (c *CryptoChecker) CheckRequest(ctx context.Context, sources map[string]string, rctx rules.Context, why bool) (*CheckOutcome, error) {
+	reg := c.opts.Metrics
+	pool := c.opts.pool()
+	out := &CheckOutcome{}
+	sp := reg.StartSpan("check")
+	err := resilience.Guard("check", func() error {
+		aopts := c.opts.Analysis
+		aopts.Budget = resilience.NewBudgetContext(ctx, c.opts.BudgetSteps, c.opts.BudgetWall)
+		aopts.Provenance = why
+		res, err := analysis.AnalyzeBudgeted(analysis.ParseProgramPool(sources, reg, pool), aopts)
+		if err != nil {
+			return err
+		}
+		out.Result = res
+		out.Violations = rules.CheckPool(res, rctx, c.Rules, pool)
+		if why {
+			out.Violations = report.SortViolations(out.Violations, res)
+			out.Traces = witness.Collect(out.Violations, res, rctx)
+			witness.Observe(reg, out.Traces)
+		}
+		return nil
+	})
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	reg.Counter("checker.programs").Inc()
+	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
+	reg.Counter("checker.violations").Add(int64(len(out.Violations)))
+	return out, nil
 }
 
 // ContextOf converts corpus project metadata into a rule context.

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -10,22 +11,31 @@ import (
 // per-change step or wall-clock budget.
 var ErrBudgetExhausted = errors.New("analysis budget exhausted")
 
-// wallCheckMask amortizes the time.Now syscall: the wall clock is consulted
-// once every wallCheckMask+1 steps.
+// ErrCanceled is returned (wrapped) when an analysis is abandoned because
+// the context it runs on behalf of was canceled — a server request whose
+// client disconnected, or a batch whose remaining work was called off.
+var ErrCanceled = errors.New("analysis canceled")
+
+// wallCheckMask amortizes the time.Now syscall and the cancellation poll:
+// the wall clock and the done channel are consulted once every
+// wallCheckMask+1 steps.
 const wallCheckMask = 0x3ff
 
 // Budget is a cooperative per-task execution budget. The abstract
 // interpreter calls Step on every statement and expression it touches; once
-// the step or wall-clock limit is exceeded every subsequent Step returns a
-// sticky error wrapping ErrBudgetExhausted.
+// the step or wall-clock limit is exceeded (or the owning context is
+// canceled) every subsequent Step returns a sticky error wrapping
+// ErrBudgetExhausted (or ErrCanceled).
 //
-// A Budget belongs to a single task (one mined code change) and is not safe
-// for concurrent use; each worker creates its own. A nil *Budget is valid
-// and never exhausts, so the unbudgeted happy path costs one nil check.
+// A Budget belongs to a single task (one mined code change, one server
+// request) and is not safe for concurrent use; each worker creates its own.
+// A nil *Budget is valid and never exhausts, so the unbudgeted happy path
+// costs one nil check.
 type Budget struct {
 	maxSteps int64
 	used     int64
 	deadline time.Time
+	done     <-chan struct{}
 	err      error
 }
 
@@ -33,18 +43,51 @@ type Budget struct {
 // of elapsed time. A zero (or negative) limit means unlimited; if both are
 // unlimited, NewBudget returns nil — the no-op budget.
 func NewBudget(maxSteps int64, wall time.Duration) *Budget {
-	if maxSteps <= 0 && wall <= 0 {
+	var deadline time.Time
+	if wall > 0 {
+		deadline = time.Now().Add(wall)
+	}
+	return NewBudgetDeadline(maxSteps, deadline)
+}
+
+// NewBudgetDeadline is NewBudget with an absolute wall deadline instead of
+// a relative duration (a zero deadline means no wall limit). This is the
+// shared constructor behind the CLIs' -budget flag and the server's
+// per-request deadlines.
+func NewBudgetDeadline(maxSteps int64, deadline time.Time) *Budget {
+	if maxSteps <= 0 && deadline.IsZero() {
 		return nil
 	}
-	b := &Budget{maxSteps: maxSteps}
+	return &Budget{maxSteps: maxSteps, deadline: deadline}
+}
+
+// NewBudgetContext builds the budget for work running on behalf of ctx:
+// at most maxSteps interpreter steps and wall of elapsed time, tightened by
+// ctx's deadline if that is sooner, and aborted early (ErrCanceled) once
+// ctx is canceled. This is how per-request timeouts and client disconnects
+// propagate into the analysis hot loop without the interpreter knowing
+// about contexts. Returns the nil no-op budget only when there is nothing
+// to enforce: no limits, no deadline, and a context that can never cancel.
+func NewBudgetContext(ctx context.Context, maxSteps int64, wall time.Duration) *Budget {
+	var deadline time.Time
 	if wall > 0 {
-		b.deadline = time.Now().Add(wall)
+		deadline = time.Now().Add(wall)
 	}
-	return b
+	var done <-chan struct{}
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+		done = ctx.Done()
+	}
+	if maxSteps <= 0 && deadline.IsZero() && done == nil {
+		return nil
+	}
+	return &Budget{maxSteps: maxSteps, deadline: deadline, done: done}
 }
 
 // Step consumes one unit of budget, returning a sticky non-nil error once
-// the budget is exhausted.
+// the budget is exhausted or its context canceled.
 func (b *Budget) Step() error {
 	if b == nil {
 		return nil
@@ -57,9 +100,23 @@ func (b *Budget) Step() error {
 		b.err = fmt.Errorf("%w after %d steps", ErrBudgetExhausted, b.maxSteps)
 		return b.err
 	}
-	if !b.deadline.IsZero() && b.used&wallCheckMask == 0 && time.Now().After(b.deadline) {
-		b.err = fmt.Errorf("%w: wall clock limit hit after %d steps", ErrBudgetExhausted, b.used)
-		return b.err
+	if b.used&wallCheckMask == 0 {
+		// The deadline is checked before the done channel so a request that
+		// ran out of time reports budget exhaustion (a 504 at the server)
+		// rather than cancellation, even though a context deadline fires
+		// both.
+		if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+			b.err = fmt.Errorf("%w: wall clock limit hit after %d steps", ErrBudgetExhausted, b.used)
+			return b.err
+		}
+		if b.done != nil {
+			select {
+			case <-b.done:
+				b.err = fmt.Errorf("%w after %d steps", ErrCanceled, b.used)
+				return b.err
+			default:
+			}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,8 +27,8 @@ type Entry struct {
 }
 
 // Categorize maps an error to its ledger category: recovered panics are
-// CatPanic, budget exhaustion is CatBudget, and everything else (I/O,
-// malformed inputs) is CatIO.
+// CatPanic, budget exhaustion is CatBudget, context cancellation is
+// CatCanceled, and everything else (I/O, malformed inputs) is CatIO.
 func Categorize(err error) Category {
 	var pe *PanicError
 	switch {
@@ -35,6 +36,9 @@ func Categorize(err error) Category {
 		return CatPanic
 	case errors.Is(err, ErrBudgetExhausted):
 		return CatBudget
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return CatCanceled
 	default:
 		return CatIO
 	}

@@ -39,9 +39,10 @@ type Category string
 
 // Failure categories recorded in ledger entries.
 const (
-	CatPanic  Category = "panic"
-	CatBudget Category = "budget"
-	CatIO     Category = "io"
+	CatPanic    Category = "panic"
+	CatBudget   Category = "budget"
+	CatIO       Category = "io"
+	CatCanceled Category = "canceled"
 )
 
 // maxStackBytes bounds the stack snippet kept in a PanicError so ledgers

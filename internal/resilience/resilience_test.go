@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -91,6 +92,90 @@ func TestBudgetWallClock(t *testing.T) {
 	}
 	if !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("wall-clock budget did not trip: %v", err)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	b := NewBudgetDeadline(0, time.Now().Add(-time.Second))
+	var err error
+	for i := 0; i <= wallCheckMask+1; i++ {
+		if err = b.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expired deadline did not trip: %v", err)
+	}
+	if NewBudgetDeadline(0, time.Time{}) != nil {
+		t.Fatal("NewBudgetDeadline with no limits != nil, want the nil no-op budget")
+	}
+}
+
+func TestBudgetContextDeadline(t *testing.T) {
+	// The context deadline tightens an unlimited wall budget; hitting it
+	// reports budget exhaustion, not cancellation, so a timed-out server
+	// request maps to 504.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	b := NewBudgetContext(ctx, 0, 0)
+	if b == nil {
+		t.Fatal("NewBudgetContext with a deadline returned nil")
+	}
+	var err error
+	for i := 0; i <= wallCheckMask+1; i++ {
+		if err = b.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("context deadline did not trip as budget exhaustion: %v", err)
+	}
+	if Categorize(err) != CatBudget {
+		t.Errorf("Categorize = %q, want %q", Categorize(err), CatBudget)
+	}
+}
+
+func TestBudgetContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudgetContext(ctx, 0, 0)
+	if b == nil {
+		t.Fatal("NewBudgetContext with a cancelable context returned nil")
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("step before cancel: %v", err)
+		}
+	}
+	cancel()
+	var err error
+	for i := 0; i <= wallCheckMask+1; i++ {
+		if err = b.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context did not trip: %v", err)
+	}
+	if Categorize(err) != CatCanceled {
+		t.Errorf("Categorize = %q, want %q", Categorize(err), CatCanceled)
+	}
+	// Sticky like every other exhaustion.
+	if err := b.Step(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("sticky Step returned %v", err)
+	}
+}
+
+func TestBudgetContextNoop(t *testing.T) {
+	// Background can never cancel and carries no deadline: with no explicit
+	// limits there is nothing to enforce, so the nil no-op budget comes back.
+	if b := NewBudgetContext(context.Background(), 0, 0); b != nil {
+		t.Fatalf("NewBudgetContext(Background, 0, 0) = %v, want nil", b)
+	}
+	if b := NewBudgetContext(nil, 0, 0); b != nil {
+		t.Fatalf("NewBudgetContext(nil, 0, 0) = %v, want nil", b)
+	}
+	if b := NewBudgetContext(context.Background(), 5, 0); b == nil {
+		t.Fatal("step-limited context budget is nil")
 	}
 }
 

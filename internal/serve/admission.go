@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// shedInfo describes an admission rejection: why the request was shed and
+// how long the client should back off before retrying (the Retry-After
+// header and the retry_after_sec body field).
+type shedInfo struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+// admission is the server's front door: a fixed number of concurrency
+// slots (sized off the analysis worker pool — more concurrent analyses
+// than cores just thrash) plus a bounded wait queue with deadline-aware
+// load shedding. A request is shed, never silently delayed to death, when
+//
+//   - the queue is full (reason "queue_full"),
+//   - the predicted queue wait already exceeds the request's deadline
+//     (reason "deadline" — the paper-trail version of "this request would
+//     time out before a worker ever picked it up"), or
+//   - the deadline expires while queued (reason "queue_wait" — the
+//     prediction was too optimistic).
+//
+// The wait prediction is an EWMA of observed service times multiplied by
+// the number of queue turns ahead of the new waiter; it is deliberately
+// rough (shedding is advisory), but it turns overload into fast 429s with
+// honest Retry-After hints instead of a convoy of slow 504s.
+type admission struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+	svcUs    atomic.Int64 // EWMA of service time, microseconds
+	reg      *obs.Registry
+}
+
+func newAdmission(maxConcurrent, maxQueue int, reg *obs.Registry) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		reg:      reg,
+	}
+}
+
+// acquire admits the request (returning a release func the caller must
+// invoke when the request finishes) or sheds it.
+func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.grant(), nil
+	default:
+	}
+	// Every slot is busy: the request must queue.
+	w := a.waiting.Add(1)
+	a.reg.Gauge("serve.queue.depth").Set(w)
+	defer func() {
+		a.reg.Gauge("serve.queue.depth").Set(a.waiting.Add(-1))
+	}()
+	if w > a.maxQueue {
+		return nil, &shedInfo{reason: "queue_full", retryAfter: a.backoff(w)}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.waitEstimate(w); est > 0 && time.Now().Add(est).After(dl) {
+			return nil, &shedInfo{reason: "deadline", retryAfter: a.backoff(w)}
+		}
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		a.reg.Histogram("serve.queue.wait_us").Observe(time.Since(start).Microseconds())
+		return a.grant(), nil
+	case <-ctx.Done():
+		return nil, &shedInfo{reason: "queue_wait", retryAfter: a.backoff(w)}
+	}
+}
+
+// grant records the admission and returns the release func, which frees
+// the slot and feeds the observed service time into the wait predictor.
+func (a *admission) grant() func() {
+	start := time.Now()
+	a.reg.Gauge("serve.inflight").Set(int64(len(a.slots)))
+	return func() {
+		observed := time.Since(start).Microseconds()
+		old := a.svcUs.Load()
+		if old == 0 {
+			a.svcUs.CompareAndSwap(0, observed)
+		} else {
+			a.svcUs.Store((7*old + observed) / 8)
+		}
+		<-a.slots
+		a.reg.Gauge("serve.inflight").Set(int64(len(a.slots)))
+	}
+}
+
+// waitEstimate predicts how long the w-th waiter sits in the queue: every
+// slot ahead of it must turn over about w/capacity times, each turn taking
+// one smoothed service time. Zero until the first request completes.
+func (a *admission) waitEstimate(w int64) time.Duration {
+	svc := a.svcUs.Load()
+	slots := int64(cap(a.slots))
+	turns := (w + slots - 1) / slots
+	return time.Duration(svc*turns) * time.Microsecond
+}
+
+// backoff converts the wait estimate into a Retry-After hint: whole
+// seconds, at least one.
+func (a *admission) backoff(w int64) time.Duration {
+	est := a.waitEstimate(w)
+	if est < time.Second {
+		return time.Second
+	}
+	return est.Round(time.Second) + time.Second
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// heavySource builds a snippet whose analysis takes well over one
+// wall-check interval (1024 interpreter steps), so deadline and
+// cancellation polls — amortized in the hot loop — are guaranteed to fire.
+func heavySource() string {
+	var sb strings.Builder
+	sb.WriteString("import javax.crypto.Cipher;\nclass Heavy {\n  void f() throws Exception {\n")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&sb, "    int a%d = %d;\n", i, i)
+	}
+	sb.WriteString("    Cipher c = Cipher.getInstance(\"AES/ECB/PKCS5Padding\");\n  }\n}\n")
+	return sb.String()
+}
+
+// TestHammerByteIdenticalResponses is the determinism contract of the
+// service: identical request bodies produce byte-identical responses, at
+// any worker-pool size, under concurrent load. Run with -race in CI.
+func TestHammerByteIdenticalResponses(t *testing.T) {
+	bodies := []string{
+		checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource, "B.java": gcmSource}}),
+		checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}, Why: true}),
+	}
+	var reference []string
+	for _, workers := range []int{1, 4} {
+		s := newTestServer(t, Options{Checker: core.Options{Workers: workers}})
+		for bi, body := range bodies {
+			want := post(t, s, "/v1/check", body).Body.String()
+			if workers == 1 {
+				reference = append(reference, want)
+			} else if want != reference[bi] {
+				// The same body answers identically across pool sizes too.
+				t.Fatalf("workers=%d diverged from workers=1:\n got: %s\nwant: %s", workers, want, reference[bi])
+			}
+			var wg sync.WaitGroup
+			results := make([]string, 24)
+			for i := range results {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+					w := httptest.NewRecorder()
+					s.Handler().ServeHTTP(w, req)
+					results[i] = w.Body.String()
+				}(i)
+			}
+			wg.Wait()
+			for i, got := range results {
+				if got != want {
+					t.Fatalf("workers=%d: concurrent response %d diverged:\n got: %s\nwant: %s", workers, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosPanicsIsolatedFromConcurrentTraffic injects a panic into every
+// other admitted analysis and hammers the server: each panicking request
+// gets its structured 422, each healthy one its normal 200, and the
+// process never dies.
+func TestChaosPanicsIsolatedFromConcurrentTraffic(t *testing.T) {
+	var calls atomic.Int64
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" && calls.Add(1)%2 == 0 {
+			panic("chaos")
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{MaxConcurrent: 4, DegradeThreshold: -1})
+	body := checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}})
+
+	const n = 20
+	codes := make([]int, n)
+	panics := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			codes[i] = w.Code
+			panics[i] = strings.Contains(w.Body.String(), `"category":"panic"`)
+		}(i)
+	}
+	wg.Wait()
+
+	ok, failed := 0, 0
+	for i := 0; i < n; i++ {
+		switch codes[i] {
+		case http.StatusOK:
+			ok++
+		case http.StatusUnprocessableEntity:
+			failed++
+			if !panics[i] {
+				t.Errorf("request %d: 422 without panic category", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, codes[i])
+		}
+	}
+	if ok != n/2 || failed != n/2 {
+		t.Errorf("ok=%d failed=%d, want %d/%d — a panic leaked beyond its request", ok, failed, n/2, n/2)
+	}
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz after chaos = %d", w.Code)
+	}
+	if got := s.Metrics().Counter("serve.check.failures").Value(); got != int64(n/2) {
+		t.Errorf("serve.check.failures = %d, want %d", got, n/2)
+	}
+}
+
+// TestChaosStalledAnalysisBecomes504 stalls the analysis past the
+// per-request deadline: the budget's wall check trips inside the
+// interpreter loop and the request surfaces as a 504 with the ledger
+// category "budget" instead of hanging.
+func TestChaosStalledAnalysisBecomes504(t *testing.T) {
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" {
+			time.Sleep(80 * time.Millisecond)
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{RequestTimeout: 30 * time.Millisecond})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"Heavy.java": heavySource()},
+	}))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("stalled request = %d, body %s; want 504", w.Code, w.Body.String())
+	}
+	var eb ErrorBody
+	decodeResp(t, w, &eb)
+	if eb.Error.Category != "budget" {
+		t.Errorf("category = %q, want budget", eb.Error.Category)
+	}
+	if !strings.Contains(eb.Error.Message, "wall clock limit") {
+		t.Errorf("message = %q, want the wall-clock budget message", eb.Error.Message)
+	}
+}
+
+// TestChaosClientDisconnectBecomesCanceled cancels the request context
+// while the analysis stalls: the budget aborts with the "canceled"
+// category (not "budget" — the distinction keeps disconnect noise out of
+// the timeout alerts).
+func TestChaosClientDisconnectBecomesCanceled(t *testing.T) {
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" {
+			time.Sleep(50 * time.Millisecond)
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{RequestTimeout: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/check",
+		strings.NewReader(checkBody(t, CheckRequest{Sources: map[string]string{"Heavy.java": heavySource()}})))
+	req = req.WithContext(ctx)
+	w := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(w, req)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request pass admission
+	cancel()
+	<-done
+	if w.Code != http.StatusRequestTimeout {
+		t.Fatalf("disconnected request = %d, body %s; want 408", w.Code, w.Body.String())
+	}
+	var eb ErrorBody
+	decodeResp(t, w, &eb)
+	if eb.Error.Category != "canceled" {
+		t.Errorf("category = %q, want canceled", eb.Error.Category)
+	}
+	if s.Metrics().Counter("serve.errors.canceled").Value() != 1 {
+		t.Error("serve.errors.canceled not counted")
+	}
+}
+
+// TestChaosFloodShedsAndSurvives floods a tiny server far past its
+// capacity: every request gets a prompt, well-formed answer (200 or 429,
+// never a hang or a crash) and the telemetry accounts for each shed.
+func TestChaosFloodShedsAndSurvives(t *testing.T) {
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" {
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{MaxConcurrent: 2, MaxQueue: 2, DegradeThreshold: -1})
+	body := checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}})
+
+	const n = 30
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			switch w.Code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+				if w.Header().Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			default:
+				other.Add(1)
+				t.Errorf("unexpected status %d: %s", w.Code, w.Body.String())
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load()+shed.Load() != n || other.Load() != 0 {
+		t.Fatalf("ok=%d shed=%d other=%d, want them to sum to %d", ok.Load(), shed.Load(), other.Load(), n)
+	}
+	if ok.Load() == 0 {
+		t.Error("flood starved every request; admission should keep serving at capacity")
+	}
+	if shed.Load() == 0 {
+		t.Error("30 requests against 2+2 capacity shed nothing")
+	}
+	if got := s.Metrics().Counter("serve.shed").Value(); got != shed.Load() {
+		t.Errorf("serve.shed = %d, want %d", got, shed.Load())
+	}
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz after flood = %d", w.Code)
+	}
+}
+
+// TestChaosDrainUnderLoadZeroDropped is the SIGTERM contract: requests in
+// flight when the drain begins all get their responses, new requests are
+// refused, and the report says zero dropped.
+func TestChaosDrainUnderLoadZeroDropped(t *testing.T) {
+	release := make(chan struct{})
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" {
+			<-release
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{MaxConcurrent: 8, DrainTimeout: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}})
+
+	const n = 5
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/check", "application/json", strings.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	waitFor(t, func() bool { return s.inflight.Load() == n })
+
+	// Unblock the stalled analyses just after the drain starts waiting.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	rep := s.Drain()
+	if rep.Dropped != 0 || rep.Finished != n {
+		t.Errorf("drain report = %+v, want %d finished, 0 dropped", rep, n)
+	}
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("in-flight request finished with %d, want 200", code)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain request = %d, want 503", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error.Category != "draining" {
+		t.Errorf("post-drain body category = %q (err %v), want draining", eb.Error.Category, err)
+	}
+}
+
+// TestChaosAnalyzeBatchFaultContainment panics one change of a batch: its
+// siblings analyze normally and the response carries the failure inline.
+func TestChaosAnalyzeBatchFaultContainment(t *testing.T) {
+	resilience.SetFaultInjector(func(task string) error {
+		// Exactly the second change's analyze guard (not its parse guard).
+		if task == "change p@c2:F.java" {
+			panic("bad change")
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{})
+	body, _ := json.Marshal(AnalyzeRequest{Changes: []ChangeSpec{
+		{Old: ecbSource, New: gcmSource, Project: "p", Commit: "c1", File: "F.java"},
+		{Old: ecbSource, New: gcmSource, Project: "p", Commit: "c2", File: "F.java"},
+		{Old: ecbSource, New: gcmSource, Project: "p", Commit: "c3", File: "F.java"},
+	}})
+	w := post(t, s, "/v1/analyze", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp AnalyzeResponse
+	decodeResp(t, w, &resp)
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(resp.Results))
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Category != "panic" {
+		t.Errorf("poisoned change error = %+v, want inline panic", resp.Results[1].Error)
+	}
+	for _, i := range []int{0, 2} {
+		if resp.Results[i].Error != nil {
+			t.Errorf("healthy change %d failed: %+v", i, resp.Results[i].Error)
+		}
+		if len(resp.Results[i].UsageChanges) == 0 {
+			t.Errorf("healthy change %d lost its usage changes", i)
+		}
+	}
+}

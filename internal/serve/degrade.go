@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// degrader is the circuit-style degraded-mode controller. Shedding is the
+// signal: every admission rejection is noted, and once Threshold sheds
+// land inside Window the server enters degraded mode for Cooldown —
+// expensive request options (witness provenance, the -why of the CLIs) are
+// disabled so each admitted request finishes faster and the queue drains.
+// Further sheds while degraded extend the cooldown (the circuit stays open
+// under sustained overload and closes Cooldown after the last trip).
+// Degraded responses advertise the mode, so clients know their traces were
+// withheld by policy rather than absent from the analysis.
+type degrader struct {
+	window    time.Duration
+	cooldown  time.Duration
+	threshold int
+	now       func() time.Time
+	reg       *obs.Registry
+
+	mu    sync.Mutex
+	sheds []time.Time // recent shed timestamps, pruned to window
+	until time.Time   // degraded while now < until
+}
+
+func newDegrader(threshold int, window, cooldown time.Duration, now func() time.Time, reg *obs.Registry) *degrader {
+	if now == nil {
+		now = time.Now
+	}
+	return &degrader{window: window, cooldown: cooldown, threshold: threshold, now: now, reg: reg}
+}
+
+// noteShed records one admission rejection and trips degraded mode when
+// the windowed shed count reaches the threshold.
+func (g *degrader) noteShed() {
+	if g.threshold <= 0 {
+		return
+	}
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sheds = append(g.sheds, now)
+	cut := 0
+	for cut < len(g.sheds) && now.Sub(g.sheds[cut]) > g.window {
+		cut++
+	}
+	g.sheds = g.sheds[cut:]
+	if len(g.sheds) >= g.threshold {
+		if !g.active(now) {
+			g.reg.Counter("serve.degraded.entered").Inc()
+		}
+		g.until = now.Add(g.cooldown)
+		g.reg.Gauge("serve.degraded").Set(1)
+	}
+}
+
+// degraded reports whether the server is currently in degraded mode.
+func (g *degrader) degraded() bool {
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	on := g.active(now)
+	if !on {
+		g.reg.Gauge("serve.degraded").Set(0)
+	}
+	return on
+}
+
+func (g *degrader) active(now time.Time) bool { return now.Before(g.until) }

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// The golden tests pin the exact bytes of every error surface of the HTTP
+// API. The bodies are part of the service contract: clients branch on
+// status + category, operators grep logs for these messages, and the CI
+// smoke test curls them verbatim. Any change here is a wire-format change
+// and must be deliberate.
+
+func mustCompact(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+func assertGolden(t *testing.T, w *httptest.ResponseRecorder, wantStatus int, want string) {
+	t.Helper()
+	if w.Code != wantStatus {
+		t.Errorf("status = %d, want %d", w.Code, wantStatus)
+	}
+	if got := w.Body.String(); got != want {
+		t.Errorf("body mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestGoldenMalformedJSON(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", "{nope")
+	assertGolden(t, w, http.StatusBadRequest, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   400,
+		Category: "request",
+		Message:  "decoding request body: invalid character 'n' looking for beginning of object key string",
+	}}))
+	if s.Metrics().Counter("serve.errors.request").Value() != 1 {
+		t.Error("serve.errors.request not counted")
+	}
+}
+
+func TestGoldenEmptySources(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", `{"sources":{}}`)
+	assertGolden(t, w, http.StatusUnprocessableEntity, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   422,
+		Category: "io",
+		Message:  "no sources in request",
+	}}))
+}
+
+func TestGoldenUnknownRule(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource}, Rules: []string{"R99"},
+	}))
+	assertGolden(t, w, http.StatusUnprocessableEntity, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   422,
+		Category: "io",
+		Message:  `unknown rule "R99"`,
+	}}))
+}
+
+func TestGoldenUnknownTargetClass(t *testing.T) {
+	s := newTestServer(t, Options{})
+	body, _ := json.Marshal(AnalyzeRequest{
+		Changes: []ChangeSpec{{Old: ecbSource, New: gcmSource}},
+		Classes: []string{"NotACryptoClass"},
+	})
+	w := post(t, s, "/v1/analyze", string(body))
+	assertGolden(t, w, http.StatusUnprocessableEntity, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   422,
+		Category: "io",
+		Message:  `unknown target class "NotACryptoClass"`,
+	}}))
+}
+
+func TestGoldenBudgetExhausted(t *testing.T) {
+	// A one-step budget trips on the first interpreter step: the ledger
+	// category is "budget" and the server surfaces it as a 504 — the
+	// gateway-timeout of a one-process fleet.
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource}, BudgetSteps: 1,
+	}))
+	assertGolden(t, w, http.StatusGatewayTimeout, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   504,
+		Category: "budget",
+		Message:  "analysis budget exhausted after 1 steps",
+	}}))
+	if s.Metrics().Counter("serve.check.failures").Value() != 1 {
+		t.Error("serve.check.failures not counted")
+	}
+}
+
+func TestGoldenInjectedPanic(t *testing.T) {
+	// A panic on a pathological snippet is recovered by resilience.Guard
+	// and surfaces as a structured 422 naming the task — the process, and
+	// every concurrent request, survives.
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" {
+			panic("boom")
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource},
+	}))
+	assertGolden(t, w, http.StatusUnprocessableEntity, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   422,
+		Category: "panic",
+		Message:  "panic in check: boom",
+	}}))
+
+	// The same server answers normally once the fault is gone.
+	resilience.ClearFaultInjector()
+	if w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource},
+	})); w.Code != http.StatusOK {
+		t.Errorf("post-panic request = %d, want 200", w.Code)
+	}
+}
+
+func TestGoldenLoadShed(t *testing.T) {
+	// One slot, one queue seat. A stalled request holds the slot, a second
+	// waits, and the third is shed with the full 429 contract: Retry-After
+	// header, category "shed", machine-readable retry_after_sec. No request
+	// has completed yet, so the EWMA is cold and the backoff is its 1s floor
+	// — the body is exact.
+	stall := make(chan struct{})
+	resilience.SetFaultInjector(func(task string) error {
+		if task == "check" {
+			<-stall
+		}
+		return nil
+	})
+	defer resilience.ClearFaultInjector()
+
+	s := newTestServer(t, Options{MaxConcurrent: 1, MaxQueue: 1, DegradeThreshold: -1})
+	body := checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if w := post(t, s, "/v1/check", body); w.Code != http.StatusOK {
+				t.Errorf("stalled request finished with %d, want 200", w.Code)
+			}
+		}()
+		if i == 0 {
+			// The first request must own the slot before the second queues.
+			waitFor(t, func() bool { return len(s.adm.slots) == 1 })
+		}
+	}
+	waitFor(t, func() bool { return s.adm.waiting.Load() == 1 })
+
+	w := post(t, s, "/v1/check", body)
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	assertGolden(t, w, http.StatusTooManyRequests, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:        429,
+		Category:      "shed",
+		Message:       "overloaded: queue_full",
+		RetryAfterSec: 1,
+	}}))
+	if s.Metrics().Counter("serve.shed.queue_full").Value() != 1 {
+		t.Error("serve.shed.queue_full not counted")
+	}
+
+	close(stall)
+	wg.Wait()
+}
+
+func TestGoldenDegradedMarker(t *testing.T) {
+	// Under degraded mode a why request still answers — same violations —
+	// but the traces are withheld and the response says so. Clients learn
+	// their traces were dropped by policy, not absent from the analysis.
+	cur := time.Unix(1700000000, 0)
+	s := newTestServer(t, Options{
+		DegradeThreshold: 1,
+		DegradeWindow:    time.Second,
+		DegradeCooldown:  time.Minute,
+		Now:              func() time.Time { return cur },
+	})
+	s.deg.noteShed() // threshold 1: one shed trips the circuit
+
+	body := checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource}, Rules: []string{"R7"}, Why: true,
+	})
+	w := post(t, s, "/v1/check", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded check = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp CheckResponse
+	decodeResp(t, w, &resp)
+	if !resp.Degraded || len(resp.Disabled) != 1 || resp.Disabled[0] != "why" {
+		t.Errorf("degraded marker missing: %+v", resp)
+	}
+	if len(resp.Traces) != 0 {
+		t.Error("degraded response still carries traces")
+	}
+	if len(resp.Violations) != 1 || resp.Violations[0].Rule != "R7" {
+		t.Errorf("degraded response lost violations: %+v", resp.Violations)
+	}
+	if !strings.Contains(w.Body.String(), `"degraded":true,"disabled":["why"]`) {
+		t.Errorf("wire form of the degraded marker changed: %s", w.Body.String())
+	}
+	if s.Metrics().Counter("serve.degraded.requests").Value() != 1 {
+		t.Error("serve.degraded.requests not counted")
+	}
+	// readyz advertises degradation but stays ready: degraded still serves.
+	if rw := get(t, s, "/readyz"); !strings.Contains(rw.Body.String(), `"degraded":true`) {
+		t.Errorf("readyz does not advertise degradation: %s", rw.Body.String())
+	}
+
+	// The cooldown elapses: traces come back without operator action.
+	cur = cur.Add(2 * time.Minute)
+	w = post(t, s, "/v1/check", body)
+	var healed CheckResponse
+	decodeResp(t, w, &healed)
+	if healed.Degraded || len(healed.Traces) == 0 {
+		t.Errorf("circuit did not close after cooldown: %+v", healed)
+	}
+}
+
+func TestGoldenMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := get(t, s, "/v1/check")
+	assertGolden(t, w, http.StatusMethodNotAllowed, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   405,
+		Category: "request",
+		Message:  "use POST",
+	}}))
+}
+
+func TestGoldenDraining(t *testing.T) {
+	s := newTestServer(t, Options{DrainTimeout: time.Second})
+	s.Drain()
+	w := post(t, s, "/v1/check", "{}")
+	assertGolden(t, w, http.StatusServiceUnavailable, mustCompact(t, ErrorBody{Error: ErrorInfo{
+		Status:   503,
+		Category: "draining",
+		Message:  "server is draining",
+	}}))
+}

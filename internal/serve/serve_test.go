@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ecbSource is the canonical violating snippet: an ECB-mode Cipher with
+// the default provider trips R5 and R7 deterministically.
+const ecbSource = `import javax.crypto.Cipher;
+class App {
+  void f() throws Exception {
+    Cipher c = Cipher.getInstance("AES/ECB/PKCS5Padding");
+  }
+}`
+
+// gcmSource is the fixed counterpart of ecbSource.
+const gcmSource = `import javax.crypto.Cipher;
+class App {
+  void f() throws Exception {
+    Cipher c = Cipher.getInstance("AES/GCM/NoPadding");
+  }
+}`
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Checker.Metrics == nil {
+		opts.Checker.Metrics = obs.NewRegistry()
+	}
+	return New(opts)
+}
+
+// post drives the server's handler directly (no network) and returns the
+// recorded response.
+func post(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// checkBody builds a /v1/check request body for the given sources.
+func checkBody(t *testing.T, req CheckRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func decodeResp(t *testing.T, w *httptest.ResponseRecorder, into any) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), into); err != nil {
+		t.Fatalf("decoding response %q: %v", w.Body.String(), err)
+	}
+}
+
+func TestCheckFindsViolations(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !bytes.HasSuffix(w.Body.Bytes(), []byte("\n")) {
+		t.Error("response body is not newline-terminated")
+	}
+	var resp CheckResponse
+	decodeResp(t, w, &resp)
+	ids := map[string]bool{}
+	for _, v := range resp.Violations {
+		ids[v.Rule] = true
+		if len(v.Objects) == 0 {
+			t.Errorf("violation %s has no witness objects", v.Rule)
+		}
+	}
+	if !ids["R7"] {
+		t.Errorf("ECB snippet did not trip R7; got %v", ids)
+	}
+	if resp.Degraded || len(resp.Traces) != 0 {
+		t.Errorf("unexpected degraded/traces in plain check: %+v", resp)
+	}
+}
+
+func TestCheckWhyReturnsTraces(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource}, Why: true,
+	}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp CheckResponse
+	decodeResp(t, w, &resp)
+	if len(resp.Traces) == 0 {
+		t.Fatal("why=true returned no traces")
+	}
+	if !strings.Contains(w.Body.String(), `"sink"`) {
+		t.Error("traces carry no sink step")
+	}
+	if len(resp.Traces) != len(resp.Violations) {
+		t.Errorf("traces = %d, violations = %d; want one trace per violation",
+			len(resp.Traces), len(resp.Violations))
+	}
+}
+
+func TestCheckRuleSubset(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": ecbSource}, Rules: []string{"R7"},
+	}))
+	var resp CheckResponse
+	decodeResp(t, w, &resp)
+	if len(resp.Violations) != 1 || resp.Violations[0].Rule != "R7" {
+		t.Errorf("rules=[R7] returned %+v", resp.Violations)
+	}
+}
+
+func TestCheckCleanSourceEmptyViolations(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{
+		Sources: map[string]string{"App.java": gcmSource}, Rules: []string{"R7"},
+	}))
+	// The violations field must be [] on the wire, not null: clients range
+	// over it without a nil check.
+	if !strings.Contains(w.Body.String(), `"violations":[]`) {
+		t.Errorf("clean check body = %s, want explicit empty violations array", w.Body.String())
+	}
+}
+
+func TestAnalyzeFindsSemanticChange(t *testing.T) {
+	s := newTestServer(t, Options{})
+	body, _ := json.Marshal(AnalyzeRequest{Changes: []ChangeSpec{{Old: ecbSource, New: gcmSource}}})
+	w := post(t, s, "/v1/analyze", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp AnalyzeResponse
+	decodeResp(t, w, &resp)
+	if len(resp.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(resp.Results))
+	}
+	r := resp.Results[0]
+	if r.Error != nil {
+		t.Fatalf("unexpected change error: %+v", r.Error)
+	}
+	if len(r.UsageChanges) == 0 {
+		t.Fatal("ECB→GCM produced no usage changes")
+	}
+	uc := r.UsageChanges[0]
+	if uc.Class != "Cipher" || uc.Label != "semantic change" {
+		t.Errorf("usage change = %+v, want Cipher semantic change", uc)
+	}
+	if !strings.Contains(uc.Text, "AES/GCM/NoPadding") {
+		t.Errorf("usage change text does not show the new transformation: %q", uc.Text)
+	}
+}
+
+func TestAnalyzeBatchOrderAndIndexes(t *testing.T) {
+	s := newTestServer(t, Options{})
+	body, _ := json.Marshal(AnalyzeRequest{Changes: []ChangeSpec{
+		{Old: ecbSource, New: gcmSource},
+		{Old: gcmSource, New: gcmSource}, // no-op change
+		{Old: ecbSource, New: gcmSource},
+	}})
+	w := post(t, s, "/v1/analyze", string(body))
+	var resp AnalyzeResponse
+	decodeResp(t, w, &resp)
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		if r.Index != i {
+			t.Errorf("results[%d].Index = %d", i, r.Index)
+		}
+	}
+	if len(resp.Results[1].UsageChanges) != 0 {
+		t.Errorf("no-op change reported usage changes: %+v", resp.Results[1].UsageChanges)
+	}
+}
+
+func TestHealthzAndReadyz(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz = %d", w.Code)
+	}
+	w := get(t, s, "/readyz")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ready"`) {
+		t.Errorf("readyz = %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestMetricsEndpointCountsRequests(t *testing.T) {
+	s := newTestServer(t, Options{})
+	post(t, s, "/v1/check", checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}}))
+	w := get(t, s, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	var snap struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	decodeResp(t, w, &snap)
+	if snap.Schema != "diffcode-metrics/v1" {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if snap.Counters["serve.check.requests"] != 1 {
+		t.Errorf("serve.check.requests = %d, want 1", snap.Counters["serve.check.requests"])
+	}
+}
+
+func TestTimeoutHeaderTightensDeadline(t *testing.T) {
+	s := newTestServer(t, Options{RequestTimeout: time.Minute})
+	req := httptest.NewRequest(http.MethodPost, "/v1/check",
+		strings.NewReader(checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}})))
+	req.Header.Set("X-Timeout-Ms", "30000")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+}
+
+func TestDrainIdleServer(t *testing.T) {
+	s := newTestServer(t, Options{DrainTimeout: time.Second})
+	rep := s.Drain()
+	if rep.Finished != 0 || rep.Dropped != 0 {
+		t.Errorf("idle drain = %+v, want zero/zero", rep)
+	}
+	if !s.Draining() {
+		t.Error("Draining() = false after Drain")
+	}
+	// Draining servers refuse API work but stay live for the orchestrator.
+	if w := post(t, s, "/v1/check", "{}"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("check while draining = %d, want 503", w.Code)
+	}
+	if w := get(t, s, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", w.Code)
+	}
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200", w.Code)
+	}
+}
+
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 1, reg)
+	release, shed := a.acquire(context.Background())
+	if shed != nil {
+		t.Fatalf("first acquire shed: %+v", shed)
+	}
+	// Slot busy: a waiter whose context is already canceled sheds with
+	// queue_wait instead of blocking forever.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, shed := a.acquire(canceled); shed == nil || shed.reason != "queue_wait" {
+		t.Errorf("canceled waiter shed = %+v, want queue_wait", shed)
+	}
+	// Two concurrent waiters against maxQueue=1: the queue is full for the
+	// second, which is shed immediately even though its context is live.
+	blocked := make(chan struct{})
+	go func() {
+		rel, shed := a.acquire(context.Background())
+		if shed == nil {
+			<-blocked
+			rel()
+		}
+	}()
+	waitFor(t, func() bool { return a.waiting.Load() == 1 })
+	_, overflow := a.acquire(context.Background())
+	if overflow == nil || overflow.reason != "queue_full" {
+		t.Fatalf("overflow waiter shed = %+v, want queue_full", overflow)
+	}
+	if overflow.retryAfter < time.Second {
+		t.Errorf("retryAfter = %v, want >= 1s", overflow.retryAfter)
+	}
+	close(blocked)
+	release()
+}
+
+func TestDegraderTripsAndCools(t *testing.T) {
+	cur := time.Unix(1700000000, 0) // fake clock, advanced by hand
+	reg := obs.NewRegistry()
+	g := newDegrader(3, 2*time.Second, 5*time.Second, func() time.Time { return cur }, reg)
+
+	g.noteShed()
+	g.noteShed()
+	if g.degraded() {
+		t.Fatal("degraded below threshold")
+	}
+	g.noteShed()
+	if !g.degraded() {
+		t.Fatal("not degraded at threshold")
+	}
+	if reg.Counter("serve.degraded.entered").Value() != 1 {
+		t.Errorf("degraded.entered = %d, want 1", reg.Counter("serve.degraded.entered").Value())
+	}
+	// A shed while degraded extends the cooldown without re-counting entry.
+	cur = cur.Add(4 * time.Second)
+	g.noteShed()
+	g.noteShed()
+	g.noteShed()
+	if reg.Counter("serve.degraded.entered").Value() != 1 {
+		t.Errorf("degraded.entered double-counted: %d", reg.Counter("serve.degraded.entered").Value())
+	}
+	// Past the cooldown the circuit closes.
+	cur = cur.Add(6 * time.Second)
+	if g.degraded() {
+		t.Error("still degraded after cooldown")
+	}
+	if reg.Gauge("serve.degraded").Value() != 0 {
+		t.Errorf("serve.degraded gauge = %d after cooldown", reg.Gauge("serve.degraded").Value())
+	}
+	// Old sheds aged out of the window: one fresh shed must not re-trip.
+	g.noteShed()
+	if g.degraded() {
+		t.Error("single fresh shed re-tripped the degrader")
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

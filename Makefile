@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve clean
+.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve bench-trace clean
 
 all: build vet test
 
@@ -61,5 +61,11 @@ bench-why:
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run TestWriteBenchServe -count=1 -v .
 
+# Trace overhead snapshot: the interpreter hot loop on an untraced context
+# vs under a per-run root span, into BENCH_trace.json (same schema).
+# Acceptance: overhead_milli < 1100 (<10%), asserted by the test itself.
+bench-trace:
+	BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json $(GO) test -run TestWriteBenchTrace -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json
+	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json BENCH_trace.json

@@ -99,7 +99,10 @@ func TestWriteBenchServe(t *testing.T) {
 		t.FailNow()
 	}
 
-	lat := reg.Histogram("serve.check.latency_us")
+	// The quantiles come from the snapshot (HistSnapshot.P50/P99) rather
+	// than re-deriving them from the live histogram: one estimator, shared
+	// with every -metrics artifact.
+	lat := obs.TakeSnapshot(reg, false).Histograms["serve.check.latency_us"]
 	bench := obs.NewRegistry()
 	bench.Gauge("bench.serve.requests").Set(int64(totalWant))
 	bench.Gauge("bench.serve.clients").Set(clients)
@@ -107,12 +110,12 @@ func TestWriteBenchServe(t *testing.T) {
 	if us := wall.Microseconds(); us > 0 {
 		bench.Gauge("bench.serve.req_per_sec").Set(int64(totalWant) * 1_000_000 / us)
 	}
-	bench.Gauge("bench.serve.p50_us").Set(lat.Quantile(0.5))
-	bench.Gauge("bench.serve.p99_us").Set(lat.Quantile(0.99))
+	bench.Gauge("bench.serve.p50_us").Set(lat.P50)
+	bench.Gauge("bench.serve.p99_us").Set(lat.P99)
 	t.Logf("served %d requests in %v (%d req/s), p50 %dµs p99 %dµs",
 		totalWant, wall.Round(time.Millisecond),
 		int64(totalWant)*1_000_000/max64(wall.Microseconds(), 1),
-		lat.Quantile(0.5), lat.Quantile(0.99))
+		lat.P50, lat.P99)
 	if err := obs.WriteSnapshotFile(out, bench, false); err != nil {
 		t.Fatalf("writing serve snapshot: %v", err)
 	}

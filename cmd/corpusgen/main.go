@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -57,11 +58,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -trace spans both stages of the run (generate, then the per-project
+	// save fan-out); the tree dumps to stderr before the final exit paths.
+	tctx, troot := std.Trace().Begin("corpusgen")
+	gsp := troot.Child("generate")
 	sp := run.Reg.StartSpan("generate")
 	c := corpus.Generate(corpus.Config{
 		Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra,
 	})
 	sp.End()
+	gsp.End()
 	run.Reg.Counter("corpusgen.projects_generated").Add(int64(len(c.Projects)))
 	run.Reg.Counter("corpusgen.commits_generated").Add(int64(c.CommitCount()))
 
@@ -72,16 +78,19 @@ func main() {
 	// reported once the in-flight saves drain.
 	ledger := resilience.NewLedger()
 	var files, written atomic.Int64
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(tctx)
 	defer cancel()
+	ssp := troot.Child("save")
 	sp = run.Reg.StartSpan("save")
-	parallel.New(std.Workers(), run.Reg).ForEach(ctx, len(c.Projects), func(i int) {
+	parallel.New(std.Workers(), run.Reg).ForEachCtx(trace.NewContext(ctx, ssp), "project", len(c.Projects), func(fctx context.Context, i int) {
 		p := c.Projects[i]
 		task := "project " + p.Name
+		trace.FromContext(fctx).SetAttr("name", p.Name)
 		err := resilience.Guard(task, func() error {
 			return corpus.Save(&corpus.Corpus{Projects: []*corpus.Project{p}}, *out)
 		})
 		if err != nil {
+			trace.FromContext(fctx).Annotate(string(resilience.Categorize(err)))
 			ledger.Record(resilience.NewEntry(task, resilience.PhaseLoad, err))
 			if *failFast || (*maxErr > 0 && ledger.Len() >= *maxErr) {
 				cancel()
@@ -92,9 +101,11 @@ func main() {
 		files.Add(int64(len(p.Files)))
 	})
 	sp.End()
+	ssp.End()
 	if ledger.Len() > 0 && (*failFast || (*maxErr > 0 && ledger.Len() >= *maxErr)) {
 		fmt.Fprint(os.Stderr, ledger.Report())
 		fmt.Fprintln(os.Stderr, "corpusgen: aborted early (fail-fast/max-errors); corpus is partial")
+		std.Trace().Dump(os.Stderr, troot)
 		run.Flush(ledger, true)
 		os.Exit(1)
 	}
@@ -118,6 +129,7 @@ func main() {
 	if ledger.Len() > 0 {
 		fmt.Fprint(os.Stderr, ledger.Report())
 	}
+	std.Trace().Dump(os.Stderr, troot)
 	run.Flush(ledger, false)
 	if ledger.Len() > 0 {
 		os.Exit(1)

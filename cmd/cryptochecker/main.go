@@ -71,6 +71,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
 		os.Exit(1)
 	}
+	// -trace threads a span tree through parse → interpret → rules; the
+	// dump goes to stderr right after the pipeline so it survives the
+	// violation-dependent exit codes below.
+	tctx, troot := std.Trace().Begin("cryptochecker")
 
 	ruleSet := rules.All()
 	if *ruleList != "" {
@@ -140,7 +144,7 @@ func main() {
 	sp := run.Reg.StartSpan("check")
 	err = resilience.Guard("analyze", func() error {
 		var aerr error
-		res, aerr = analysis.AnalyzeBudgeted(analysis.ParseProgramPool(sources, run.Reg, pool),
+		res, aerr = analysis.AnalyzeBudgetedCtx(tctx, analysis.ParseProgramPoolCtx(tctx, sources, run.Reg, pool),
 			analysis.Options{Budget: resilience.NewBudget(*budget, 0), Metrics: run.Reg,
 				Provenance: why.On()})
 		return aerr
@@ -156,8 +160,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	violations := rules.CheckPool(res, ctx, ruleSet, pool)
+	violations := rules.CheckPoolCtx(tctx, res, ctx, ruleSet, pool)
 	sp.End()
+	std.Trace().Dump(os.Stderr, troot)
 	run.Reg.Counter("checker.rules_evaluated").Add(int64(len(ruleSet)))
 	run.Reg.Counter("checker.violations").Add(int64(len(violations)))
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,6 +56,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "diffcode: %v\n", err)
 		os.Exit(1)
 	}
+	// -trace threads a span tree through the whole run and dumps it to
+	// stderr at exit (stdout output is byte-identical either way).
+	tctx, troot := std.Trace().Begin("diffcode")
+	defer std.Trace().Dump(os.Stderr, troot)
 	opts := core.Options{
 		Depth:            *depth,
 		BudgetSteps:      *budget,
@@ -75,18 +80,18 @@ func main() {
 
 	switch {
 	case *oldFile != "" && *newFile != "":
-		runSingle(run, *oldFile, *newFile, classes, opts, *showDiff, *dot, why)
+		runSingle(tctx, run, *oldFile, *newFile, classes, opts, *showDiff, *dot, why)
 	case *corpusDir != "":
 		if why.On() {
 			cliutil.UsageError("diffcode", "-why applies to single-change mode (-old/-new) only")
 		}
-		runCorpus(run, *corpusDir, classes, opts)
+		runCorpus(tctx, run, *corpusDir, classes, opts)
 	default:
 		cliutil.UsageError("diffcode", "need either -old/-new or -corpus")
 	}
 }
 
-func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool, why cliutil.WhyMode) {
+func runSingle(tctx context.Context, run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool, why cliutil.WhyMode) {
 	oldSrc := mustRead(oldPath)
 	newSrc := mustRead(newPath)
 	if showDiff {
@@ -105,7 +110,7 @@ func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts cor
 		}
 	}
 	d := core.New(opts)
-	a, err := d.AnalyzeChange(mining.CodeChange{
+	a, err := d.AnalyzeChangeCtx(tctx, mining.CodeChange{
 		Old: oldSrc, New: newSrc,
 		Meta: change.Meta{File: newPath},
 	})
@@ -135,7 +140,7 @@ func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts cor
 		fmt.Println("no semantic usage changes (refactoring or unrelated change)")
 	}
 	if why.On() {
-		printWhy(run, oldPath, oldSrc, newPath, newSrc, opts, why)
+		printWhy(tctx, run, oldPath, oldSrc, newPath, newSrc, opts, why)
 	}
 	run.Flush(d.Ledger(), false)
 }
@@ -143,11 +148,11 @@ func runSingle(run *obs.CLI, oldPath, newPath string, classes []string, opts cor
 // printWhy checks both versions of the change against the full rule set and
 // prints witness traces for the violations the change fixed (old version
 // only) and introduced (new version only).
-func printWhy(run *obs.CLI, oldPath, oldSrc, newPath, newSrc string, opts core.Options, why cliutil.WhyMode) {
+func printWhy(tctx context.Context, run *obs.CLI, oldPath, oldSrc, newPath, newSrc string, opts core.Options, why cliutil.WhyMode) {
 	checker := core.NewChecker(nil, opts)
 	ctx := rules.Context{}
-	oldVs, oldTraces := checker.CheckSourcesWhy(map[string]string{oldPath: oldSrc}, ctx)
-	newVs, newTraces := checker.CheckSourcesWhy(map[string]string{newPath: newSrc}, ctx)
+	oldVs, oldTraces := checker.CheckSourcesWhyCtx(tctx, map[string]string{oldPath: oldSrc}, ctx)
+	newVs, newTraces := checker.CheckSourcesWhyCtx(tctx, map[string]string{newPath: newSrc}, ctx)
 	oldIDs := ruleIDSet(oldVs)
 	newIDs := ruleIDSet(newVs)
 	fixed := filterTraces(oldTraces, func(id string) bool { return !newIDs[id] })
@@ -197,7 +202,7 @@ func countRules(ts []witness.Trace) int {
 	return len(seen)
 }
 
-func runCorpus(run *obs.CLI, dir string, classes []string, opts core.Options) {
+func runCorpus(tctx context.Context, run *obs.CLI, dir string, classes []string, opts core.Options) {
 	// One ledger spans the whole run: corpus loading and mining both record
 	// the work they skipped into it.
 	ledger := resilience.NewLedger()
@@ -213,11 +218,11 @@ func runCorpus(run *obs.CLI, dir string, classes []string, opts core.Options) {
 		os.Exit(1)
 	}
 	d := core.New(opts)
-	analyzed := d.MineCorpus(c)
+	analyzed := d.MineCorpusCtx(tctx, c)
 	fmt.Printf("mined %d code changes from %d training projects\n\n",
 		len(analyzed), len(c.TrainingProjects()))
 	for _, cls := range classes {
-		r := d.RunClass(analyzed, cls)
+		r := d.RunClassCtx(tctx, analyzed, cls)
 		s := r.Stats
 		fmt.Printf("%s: %d usage changes → fsame %d → fadd %d → frem %d → fdup %d\n",
 			cls, s.Total, s.AfterSame, s.AfterAdd, s.AfterRem, s.AfterDup)
@@ -229,7 +234,7 @@ func runCorpus(run *obs.CLI, dir string, classes []string, opts core.Options) {
 			fmt.Printf("  [%s %s] %s\n", uc.Meta.Project, uc.Meta.Commit, uc.Meta.Message)
 		}
 		if len(r.Survivors) > 1 {
-			root := d.ClusterChanges(r.Survivors)
+			root := d.ClusterChangesCtx(tctx, r.Survivors)
 			fmt.Println("dendrogram:")
 			fmt.Print(indent(cluster.Render(root, func(i int) string {
 				uc := r.Survivors[i]

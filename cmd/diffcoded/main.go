@@ -9,8 +9,18 @@
 //	POST /v1/analyze  old/new change batches → semantic usage changes
 //	GET  /healthz     liveness
 //	GET  /readyz      readiness (503 while draining)
-//	GET  /metrics     live metrics snapshot (diffcode-metrics/v1)
+//	GET  /metrics     live metrics snapshot (diffcode-metrics/v1; ?format=prom
+//	                  for Prometheus text exposition)
 //	     /debug/      expvar-style vars + pprof
+//	GET  /debug/traces  retained request traces (-trace only): JSON list,
+//	                  per-trace detail, ?format=text waterfall
+//
+// With -trace, every API request gets a hierarchical span tree: an
+// X-Trace-Id response header, a trace_id response field, and tail-based
+// retention (failures and slow requests always kept, the healthy fast
+// majority sampled) inspectable at /debug/traces; the retained traces are
+// summarized on stderr at shutdown (-trace=json for full JSON records).
+// Without it, responses are byte-identical to an untraced build.
 //
 // Every request runs under panic isolation and a per-request step/wall
 // budget; overload sheds with 429 + Retry-After, sustained overload trips
@@ -20,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -51,8 +63,14 @@ func main() {
 	std.Parse()
 
 	// A server is always instrumented: serve.* telemetry is how an operator
-	// sees shedding, degradation, and tail latency at all.
+	// sees shedding, degradation, and tail latency at all. Tracing stays
+	// opt-in (-trace): with it off every response is byte-identical to an
+	// untraced build.
 	reg := obs.NewRegistry()
+	var tracer *trace.Tracer
+	if std.Trace().On() {
+		tracer = trace.New()
+	}
 	srv := serve.New(serve.Options{
 		Checker: core.Options{
 			BudgetSteps: *budget,
@@ -63,6 +81,7 @@ func main() {
 		MaxQueue:       *queue,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
+		Tracer:         tracer,
 	})
 
 	errc := make(chan error, 1)
@@ -92,12 +111,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "diffcoded: %v: draining (budget %s)\n", sig, *drain)
 		rep := srv.Drain()
 		fmt.Fprintf(os.Stderr, "diffcoded: drain complete: %d finished, %d dropped\n", rep.Finished, rep.Dropped)
+		dumpTraces(srv.Traces(), std.Trace())
 		flush(reg, *metrics, *verbose)
 		if rep.Dropped > 0 {
 			os.Exit(1)
 		}
 	}
 	flush(reg, *metrics, *verbose)
+}
+
+// dumpTraces writes the retained-trace buffer to stderr at shutdown: one
+// summary line per trace in text mode, the full records in JSON mode. No-op
+// when tracing is off (st is nil).
+func dumpTraces(st *trace.Store, mode cliutil.TraceMode) {
+	if st == nil || !mode.On() {
+		return
+	}
+	recs := st.List()
+	if mode == cliutil.TraceJSON {
+		b, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diffcoded: rendering traces: %v\n", err)
+			return
+		}
+		fmt.Fprintln(os.Stderr, string(b))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "diffcoded: %d retained trace(s), newest first:\n", len(recs))
+	for _, r := range recs {
+		line := fmt.Sprintf("  %s %s %dµs spans=%d retained=%s", r.ID, r.Name, r.DurUs, r.Spans, r.Retained)
+		if r.Category != "" {
+			line += " [" + r.Category + "]"
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 // flush writes the final metrics snapshot and summary; it is idempotent

@@ -89,6 +89,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
 		os.Exit(1)
 	}
+	// -trace threads a span tree through corpus generation and the mining
+	// run; the deferred dump runs after the figure sections (defers are
+	// LIFO, so it lands after the telemetry flush on stderr).
+	tctx, troot := std.Trace().Begin("evalrepro")
+	defer std.Trace().Dump(os.Stderr, troot)
 	cfg := corpus.Config{Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra}
 	opts := core.Options{
 		Depth:            *depth,
@@ -101,7 +106,9 @@ func main() {
 	}
 
 	start := time.Now()
+	gsp := troot.Child("generate")
 	c := corpus.Generate(cfg)
+	gsp.End()
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "corpus: %d projects, %d commits (%.2fs)\n",
 			len(c.Projects), c.CommitCount(), time.Since(start).Seconds())
@@ -114,7 +121,7 @@ func main() {
 	}
 
 	start = time.Now()
-	e := core.NewEvaluation(c, opts)
+	e := core.NewEvaluationCtx(tctx, c, opts)
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "analysis: %d code changes (%.2fs)\n",
 			len(e.Analyzed), time.Since(start).Seconds())

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/absdom"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
+	"repro/internal/trace"
 )
 
 // Options configures the analyzer.
@@ -95,6 +97,16 @@ func ParseProgramObs(sources map[string]string, reg *obs.Registry) *Program {
 // single-goroutine (budgets are single-goroutine by contract); only the
 // per-file parse fans out.
 func ParseProgramPool(sources map[string]string, reg *obs.Registry, pool *parallel.Pool) *Program {
+	return ParseProgramPoolCtx(context.Background(), sources, reg, pool)
+}
+
+// ParseProgramPoolCtx is ParseProgramPool with trace propagation: when ctx
+// carries a span, the parse runs under a "parse" child annotated with the
+// file count, and each file's parse gets its own "file[i]" span carrying
+// the file name. The span tree is deterministic at any worker count because
+// files are sorted by name before fan-out and task spans order by index.
+// On an untraced ctx this is exactly ParseProgramPool.
+func ParseProgramPoolCtx(ctx context.Context, sources map[string]string, reg *obs.Registry, pool *parallel.Pool) *Program {
 	names := make([]string, 0, len(sources))
 	for n := range sources {
 		if dot := strings.LastIndexByte(n, '.'); dot >= 0 && !strings.HasSuffix(n, ".java") {
@@ -103,10 +115,17 @@ func ParseProgramPool(sources map[string]string, reg *obs.Registry, pool *parall
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	pctx, psp := trace.Start(ctx, "parse")
+	psp.SetAttr("files", strconv.Itoa(len(names)))
+	defer psp.End()
 	p := &Program{Files: make([]File, len(names))}
 	errCounts := make([]int64, len(names))
 	var bytes, parseErrs int64
-	pool.ForEach(context.Background(), len(names), func(i int) {
+	// Detach: the fan-out keeps the pre-trace contract that parsing is never
+	// canceled mid-file (it always ran under context.Background()); only the
+	// span propagates.
+	pool.ForEachCtx(trace.Detach(pctx), "file", len(names), func(fctx context.Context, i int) {
+		trace.FromContext(fctx).SetAttr("name", names[i])
 		res := javaparser.Parse(sources[names[i]])
 		p.Files[i] = File{Name: names[i], Unit: res.Unit}
 		errCounts[i] = int64(len(res.Errors))
@@ -184,7 +203,32 @@ func Analyze(prog *Program, opts Options) *Result {
 // partial result is returned together with an error wrapping
 // resilience.ErrBudgetExhausted. Without a budget (or within it) the error
 // is nil and the result is identical to Analyze's.
-func AnalyzeBudgeted(prog *Program, opts Options) (res *Result, err error) {
+func AnalyzeBudgeted(prog *Program, opts Options) (*Result, error) {
+	res, err, _ := analyzeBudgeted(prog, opts)
+	return res, err
+}
+
+// AnalyzeBudgetedCtx is AnalyzeBudgeted with trace propagation: when ctx
+// carries a span, the run gets an "interpret" child annotated with the step
+// count and — on exhaustion — the ledger's "budget" category. The step
+// count is a function of the program alone (the interpreter is
+// single-goroutine), so the attribute keeps trace fingerprints
+// deterministic. On an untraced ctx this is exactly AnalyzeBudgeted.
+func AnalyzeBudgetedCtx(ctx context.Context, prog *Program, opts Options) (*Result, error) {
+	_, sp := trace.Start(ctx, "interpret")
+	if sp == nil {
+		return AnalyzeBudgeted(prog, opts)
+	}
+	defer sp.End()
+	res, err, steps := analyzeBudgeted(prog, opts)
+	sp.SetAttr("steps", strconv.FormatInt(steps, 10))
+	if err != nil {
+		sp.Annotate(string(resilience.Categorize(err)))
+	}
+	return res, err
+}
+
+func analyzeBudgeted(prog *Program, opts Options) (res *Result, err error, steps int64) {
 	an := newAnalyzer(prog, opts.withDefaults())
 	defer func() {
 		if r := recover(); r != nil {
@@ -195,10 +239,11 @@ func AnalyzeBudgeted(prog *Program, opts Options) (res *Result, err error) {
 			res = an.result()
 			err = stop.err
 		}
+		steps = an.steps
 		an.flushMetrics(err)
 	}()
 	an.run()
-	return an.result(), nil
+	return an.result(), nil, an.steps
 }
 
 // AnalyzeSource is a convenience wrapper for single-file programs.

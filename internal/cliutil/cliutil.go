@@ -6,10 +6,14 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+
+	"repro/internal/trace"
 )
 
 // WorkersFlag registers the uniform -workers flag on the default flag set:
@@ -60,6 +64,7 @@ type Standard struct {
 	workers   *int
 	why       *WhyMode
 	distCache *bool
+	trace     *TraceMode
 }
 
 // StandardFlags registers the shared flag set for the named tool on the
@@ -70,6 +75,7 @@ func StandardFlags(tool string) *Standard {
 		workers:   WorkersFlag(),
 		why:       WhyFlag(),
 		distCache: DistCacheFlag(),
+		trace:     TraceFlag(),
 	}
 }
 
@@ -93,6 +99,9 @@ func (s *Standard) Why() WhyMode { return *s.why }
 
 // DistCache reports whether the memoized distance engine is enabled.
 func (s *Standard) DistCache() bool { return *s.distCache }
+
+// Trace returns the parsed -trace mode.
+func (s *Standard) Trace() TraceMode { return *s.trace }
 
 // WhyMode is the parsed value of the uniform -why flag.
 type WhyMode string
@@ -142,4 +151,84 @@ func WhyFlag() *WhyMode {
 	m := WhyOff
 	flag.Var(whyValue{&m}, "why", "explain each violation with its witness trace (origin → defs → sink); -why=json for JSON")
 	return &m
+}
+
+// TraceMode is the parsed value of the uniform -trace flag.
+type TraceMode string
+
+// The three -trace settings: off (default), text tree, JSON tree.
+const (
+	TraceOff  TraceMode = ""
+	TraceText TraceMode = "text"
+	TraceJSON TraceMode = "json"
+)
+
+// On reports whether request tracing was requested in any form.
+func (m TraceMode) On() bool { return m != TraceOff }
+
+// traceValue adapts TraceMode to the flag package, mirroring whyValue:
+// IsBoolFlag lets the flag appear bare (-trace, meaning text) or valued
+// (-trace=json).
+type traceValue struct{ m *TraceMode }
+
+func (t traceValue) String() string {
+	if t.m == nil {
+		return ""
+	}
+	return string(*t.m)
+}
+
+func (t traceValue) Set(s string) error {
+	switch s {
+	case "true", "text":
+		*t.m = TraceText
+	case "false", "":
+		*t.m = TraceOff
+	case "json":
+		*t.m = TraceJSON
+	default:
+		return fmt.Errorf("must be 'text' or 'json' (got %q)", s)
+	}
+	return nil
+}
+
+func (t traceValue) IsBoolFlag() bool { return true }
+
+// TraceFlag registers the uniform -trace flag on the default flag set: bare
+// -trace traces the run with hierarchical spans and dumps the trace tree at
+// exit (batch tools: text to stderr; diffcoded: retained traces at
+// shutdown), -trace=json emits JSON. Off by default; with the flag off,
+// tool output is byte-identical to an untraced build.
+func TraceFlag() *TraceMode {
+	m := TraceOff
+	flag.Var(traceValue{&m}, "trace", "trace the run with hierarchical spans and dump the trace tree at exit; -trace=json for JSON")
+	return &m
+}
+
+// Begin opens the run's root span when tracing is on, returning a context
+// to thread through the pipeline's Ctx entry points and the root span to
+// Dump at exit. Off → the background context and a nil (inert) span, so
+// call sites need no mode check.
+func (m TraceMode) Begin(tool string) (context.Context, *trace.Span) {
+	if !m.On() {
+		return context.Background(), nil
+	}
+	root := trace.New().Root(tool)
+	return trace.NewContext(context.Background(), root), root
+}
+
+// Dump ends the root span and writes the run's trace tree to w. The CLIs
+// pass stderr, keeping stdout byte-identical to an untraced run. No-op on a
+// nil span (tracing off).
+func (m TraceMode) Dump(w io.Writer, root *trace.Span) {
+	if root == nil {
+		return
+	}
+	root.End()
+	d := trace.Snapshot(root)
+	if m == TraceJSON {
+		fmt.Fprint(w, d.JSON())
+		return
+	}
+	fmt.Fprint(w, d.Render())
 }

@@ -1,11 +1,14 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestValidateWorkers(t *testing.T) {
@@ -85,6 +88,82 @@ func TestStandardFlagsParseAndValidate(t *testing.T) {
 	}
 	if std.Tool() != "test" {
 		t.Errorf("Tool() = %q, want %q", std.Tool(), "test")
+	}
+}
+
+func TestTraceFlagModes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want TraceMode
+	}{
+		{[]string{"test"}, TraceOff},
+		{[]string{"test", "-trace"}, TraceText},
+		{[]string{"test", "-trace=text"}, TraceText},
+		{[]string{"test", "-trace=json"}, TraceJSON},
+		{[]string{"test", "-trace=false"}, TraceOff},
+	}
+	oldCmd := flag.CommandLine
+	oldArgs := os.Args
+	defer func() { flag.CommandLine = oldCmd; os.Args = oldArgs }()
+	for _, c := range cases {
+		flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+		std := StandardFlags("test")
+		os.Args = c.args
+		std.Parse()
+		if std.Trace() != c.want {
+			t.Errorf("args %v: Trace() = %q, want %q", c.args[1:], std.Trace(), c.want)
+		}
+		if std.Trace().On() != (c.want != TraceOff) {
+			t.Errorf("args %v: On() = %t", c.args[1:], std.Trace().On())
+		}
+	}
+}
+
+func TestTraceFlagRejectsUnknownMode(t *testing.T) {
+	var m TraceMode
+	if err := (traceValue{&m}).Set("waterfall"); err == nil {
+		t.Error("Set(\"waterfall\") = nil, want error")
+	}
+}
+
+func TestTraceBeginAndDump(t *testing.T) {
+	// Off: an inert span and a clean context, and Dump writes nothing.
+	ctx, root := TraceOff.Begin("tool")
+	if root != nil {
+		t.Fatalf("TraceOff.Begin root = %v, want nil", root)
+	}
+	if trace.FromContext(ctx) != nil {
+		t.Error("TraceOff.Begin context carries a span")
+	}
+	var sb strings.Builder
+	TraceOff.Dump(&sb, root)
+	if sb.Len() != 0 {
+		t.Errorf("TraceOff.Dump wrote %q, want nothing", sb.String())
+	}
+
+	// Text: the dump is the indented trace tree.
+	ctx, root = TraceText.Begin("tool")
+	if trace.FromContext(ctx) != root || root == nil {
+		t.Fatal("TraceText.Begin context does not carry the root span")
+	}
+	root.Child("stage").End()
+	TraceText.Dump(&sb, root)
+	out := sb.String()
+	if !strings.Contains(out, "tool ") || !strings.Contains(out, "\n  stage ") {
+		t.Errorf("text dump missing tree:\n%s", out)
+	}
+
+	// JSON: the dump parses and round-trips the span names.
+	_, root = TraceJSON.Begin("tool")
+	root.Child("stage").End()
+	sb.Reset()
+	TraceJSON.Dump(&sb, root)
+	var d trace.SpanData
+	if err := json.Unmarshal([]byte(sb.String()), &d); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, sb.String())
+	}
+	if d.Name != "tool" || len(d.Children) != 1 || d.Children[0].Name != "stage" {
+		t.Errorf("JSON dump tree = %+v", d)
 	}
 }
 

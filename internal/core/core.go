@@ -23,6 +23,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/rules"
+	"repro/internal/trace"
 	"repro/internal/usage"
 	"repro/internal/witness"
 )
@@ -173,19 +174,22 @@ func (d *DiffCode) AnalyzeChangeCtx(ctx context.Context, cc mining.CodeChange) (
 }
 
 // analyzeChange is AnalyzeChange plus the pipeline phase a failure belongs
-// to (parse vs analyze) for ledger bookkeeping.
+// to (parse vs analyze) for ledger bookkeeping. When ctx carries a trace
+// span, the parse and the two interpreter runs appear as child spans and a
+// failure annotates ctx's span with its ledger category.
 func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
 	task := taskName(cc)
 	reg := d.opts.Metrics
 	var progOld, progNew *analysis.Program
 	sp := reg.StartSpanTask("parse", task)
 	err := resilience.Guard(task+" [parse]", func() error {
-		progOld = analysis.ParseProgramObs(map[string]string{"Main.java": cc.Old}, reg)
-		progNew = analysis.ParseProgramObs(map[string]string{"Main.java": cc.New}, reg)
+		progOld = analysis.ParseProgramPoolCtx(ctx, map[string]string{"Main.java": cc.Old}, reg, nil)
+		progNew = analysis.ParseProgramPoolCtx(ctx, map[string]string{"Main.java": cc.New}, reg, nil)
 		return nil
 	})
 	sp.End()
 	if err != nil {
+		trace.FromContext(ctx).Annotate(string(resilience.Categorize(err)))
 		return nil, resilience.PhaseParse, err
 	}
 	a := &AnalyzedChange{
@@ -201,11 +205,11 @@ func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*An
 		// Both versions share one budget: the unit of skipping is the change.
 		aopts := d.opts.Analysis
 		aopts.Budget = resilience.NewBudgetContext(ctx, d.opts.BudgetSteps, d.opts.BudgetWall)
-		old, err := analysis.AnalyzeBudgeted(progOld, aopts)
+		old, err := analysis.AnalyzeBudgetedCtx(ctx, progOld, aopts)
 		if err != nil {
 			return err
 		}
-		nw, err := analysis.AnalyzeBudgeted(progNew, aopts)
+		nw, err := analysis.AnalyzeBudgetedCtx(ctx, progNew, aopts)
 		if err != nil {
 			return err
 		}
@@ -214,6 +218,7 @@ func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*An
 	})
 	sp.End()
 	if err != nil {
+		trace.FromContext(ctx).Annotate(string(resilience.Categorize(err)))
 		return nil, resilience.PhaseAnalyze, err
 	}
 	reg.Counter("analysis.changes_analyzed").Inc()
@@ -243,17 +248,31 @@ func (d *DiffCode) record(cc mining.CodeChange, phase resilience.Phase, err erro
 // dispatched once the failure threshold is reached; in-flight changes
 // finish and keep their slots). Workers == 1 runs the exact serial path.
 func (d *DiffCode) AnalyzeAll(ccs []mining.CodeChange) []*AnalyzedChange {
+	return d.AnalyzeAllCtx(context.Background(), ccs)
+}
+
+// AnalyzeAllCtx is AnalyzeAll with trace propagation: when tctx carries a
+// span, the batch runs under an "analyze" child with one "change[i]" span
+// per change (ordered by input index at any worker count), each annotated
+// with its ledger failure category when the change is skipped. Only the
+// span propagates from tctx — the batch keeps its own cancellation
+// lifecycle, exactly as before.
+func (d *DiffCode) AnalyzeAllCtx(tctx context.Context, ccs []mining.CodeChange) []*AnalyzedChange {
 	d.opts.Metrics.Gauge("pipeline.workers").Set(int64(d.opts.Workers))
 	out := make([]*AnalyzedChange, len(ccs))
-	ctx, cancel := context.WithCancel(context.Background())
+	bctx, bsp := trace.Start(tctx, "analyze")
+	defer bsp.End()
+	ctx, cancel := context.WithCancel(trace.Detach(bctx))
 	defer cancel()
 	var failures atomic.Int64
 	// Budgets inside the batch deliberately stay unbound from the cancel
 	// context: fail-fast/max-errors stop dispatching new changes, but
 	// in-flight changes finish and keep their slots (the documented abort
-	// semantics, and what keeps aborted-run output deterministic).
-	d.opts.pool().ForEach(ctx, len(ccs), func(i int) {
-		a, phase, err := d.analyzeChange(context.Background(), ccs[i])
+	// semantics, and what keeps aborted-run output deterministic). Detach
+	// strips the fail-fast cancellation before it reaches a change's budget
+	// while keeping the task span as the parent of the change's spans.
+	d.opts.pool().ForEachCtx(ctx, "change", len(ccs), func(cctx context.Context, i int) {
+		a, phase, err := d.analyzeChange(trace.Detach(cctx), ccs[i])
 		if err != nil {
 			d.record(ccs[i], phase, err)
 			n := failures.Add(1)
@@ -278,10 +297,20 @@ func (d *DiffCode) ExtractClass(a *AnalyzedChange, class string) []change.UsageC
 // resilience layer skipped are dropped from the result (they are recorded
 // in the ledger), so downstream stages see only analyzed changes.
 func (d *DiffCode) MineCorpus(c *corpus.Corpus) []*AnalyzedChange {
+	return d.MineCorpusCtx(context.Background(), c)
+}
+
+// MineCorpusCtx is MineCorpus with trace propagation: the collection runs
+// under a "mine" child span carrying the mined-change count, and the batch
+// analysis under AnalyzeAllCtx's "analyze" span.
+func (d *DiffCode) MineCorpusCtx(ctx context.Context, c *corpus.Corpus) []*AnalyzedChange {
 	sp := d.opts.Metrics.StartSpan("mine")
+	_, msp := trace.Start(ctx, "mine")
 	ccs := mining.Collect(c, mining.Options{MinCommits: d.opts.MinCommits, Metrics: d.opts.Metrics})
+	msp.SetAttr("changes", fmt.Sprint(len(ccs)))
+	msp.End()
 	sp.End()
-	analyzed := d.AnalyzeAll(ccs)
+	analyzed := d.AnalyzeAllCtx(ctx, ccs)
 	out := make([]*AnalyzedChange, 0, len(analyzed))
 	for _, a := range analyzed {
 		if a != nil {
@@ -303,8 +332,16 @@ type ClassPipelineResult struct {
 // layer skipped) are ignored; a panic while extracting one change skips
 // that change and records it, rather than aborting the class.
 func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipelineResult {
+	return d.RunClassCtx(context.Background(), analyzed, class)
+}
+
+// RunClassCtx is RunClass with trace propagation: the extract and filter
+// stages appear as child spans carrying the class name and survivor counts.
+func (d *DiffCode) RunClassCtx(ctx context.Context, analyzed []*AnalyzedChange, class string) ClassPipelineResult {
 	reg := d.opts.Metrics
 	var all []change.UsageChange
+	_, xsp := trace.Start(ctx, "extract")
+	xsp.SetAttr("class", class)
 	esp := reg.StartSpanTask("extract", class)
 	for _, a := range analyzed {
 		if a == nil || !a.UsesClass(class) {
@@ -321,10 +358,16 @@ func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipel
 		}
 	}
 	esp.End()
+	xsp.SetAttr("usage_changes", fmt.Sprint(len(all)))
+	xsp.End()
 	reg.Counter("extract.usage_changes").Add(int64(len(all)))
+	_, psp := trace.Start(ctx, "filter")
+	psp.SetAttr("class", class)
 	fsp := reg.StartSpanTask("filter", class)
 	kept, stats := change.Filter(all)
 	fsp.End()
+	psp.SetAttr("survivors", fmt.Sprint(len(kept)))
+	psp.End()
 	reg.Counter("filter.usage_changes").Add(int64(stats.Total))
 	reg.Counter("filter.survivors").Add(int64(len(kept)))
 	return ClassPipelineResult{Class: class, Stats: stats, Survivors: kept}
@@ -337,8 +380,19 @@ func (d *DiffCode) RunClass(analyzed []*AnalyzedChange, class string) ClassPipel
 // is set; the dendrogram is identical at any worker count and with the
 // cache on or off.
 func (d *DiffCode) ClusterChanges(changes []change.UsageChange) *cluster.Node {
+	return d.ClusterChangesCtx(context.Background(), changes)
+}
+
+// ClusterChangesCtx is ClusterChanges with trace propagation: the whole
+// agglomeration runs under a "cluster" child span carrying the input size
+// (the distance-matrix fan-out below it is deliberately not per-task traced
+// — an O(n²) stage would dominate the span tree without adding attribution).
+func (d *DiffCode) ClusterChangesCtx(ctx context.Context, changes []change.UsageChange) *cluster.Node {
 	sp := d.opts.Metrics.StartSpan("cluster")
+	_, csp := trace.Start(ctx, "cluster")
+	csp.SetAttr("changes", fmt.Sprint(len(changes)))
 	root := cluster.AgglomerateEngine(changes, cluster.Complete, d.opts.Metrics, d.opts.pool(), d.engine)
+	csp.End()
 	sp.End()
 	return root
 }
@@ -367,11 +421,21 @@ func NewChecker(ruleSet []*rules.Rule, opts Options) *CryptoChecker {
 // the whole program and stays single-goroutine); violations come back in
 // the stable rule-set order regardless of worker count.
 func (c *CryptoChecker) CheckSources(sources map[string]string, ctx rules.Context) []rules.Violation {
+	return c.CheckSourcesCtx(context.Background(), sources, ctx)
+}
+
+// CheckSourcesCtx is CheckSources with trace propagation: under a traced
+// tctx the program runs as a "check" child span with parse, interpret, and
+// rules stages below it. On an untraced tctx this is exactly CheckSources.
+func (c *CryptoChecker) CheckSourcesCtx(tctx context.Context, sources map[string]string, ctx rules.Context) []rules.Violation {
 	reg := c.opts.Metrics
 	pool := c.opts.pool()
 	sp := reg.StartSpan("check")
-	res := analysis.Analyze(analysis.ParseProgramPool(sources, reg, pool), c.opts.Analysis)
-	violations := rules.CheckPool(res, ctx, c.Rules, pool)
+	cctx, csp := trace.Start(tctx, "check")
+	prog := analysis.ParseProgramPoolCtx(cctx, sources, reg, pool)
+	res, _ := analysis.AnalyzeBudgetedCtx(cctx, prog, c.opts.Analysis)
+	violations := rules.CheckPoolCtx(cctx, res, ctx, c.Rules, pool)
+	csp.End()
 	sp.End()
 	reg.Counter("checker.programs").Inc()
 	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
@@ -386,19 +450,31 @@ func (c *CryptoChecker) CheckSources(sources map[string]string, ctx rules.Contex
 // the violation *set* is exactly CheckSources'; only the order of the
 // returned slice and the extra traces differ.
 func (c *CryptoChecker) CheckSourcesWhy(sources map[string]string, ctx rules.Context) ([]rules.Violation, []witness.Trace) {
+	return c.CheckSourcesWhyCtx(context.Background(), sources, ctx)
+}
+
+// CheckSourcesWhyCtx is CheckSourcesWhy with the same trace propagation as
+// CheckSourcesCtx, plus a "witness" stage span for the reconstruction.
+func (c *CryptoChecker) CheckSourcesWhyCtx(tctx context.Context, sources map[string]string, ctx rules.Context) ([]rules.Violation, []witness.Trace) {
 	reg := c.opts.Metrics
 	pool := c.opts.pool()
 	sp := reg.StartSpan("check")
+	cctx, csp := trace.Start(tctx, "check")
 	aopts := c.opts.Analysis
 	aopts.Provenance = true
-	res := analysis.Analyze(analysis.ParseProgramPool(sources, reg, pool), aopts)
-	violations := rules.CheckPool(res, ctx, c.Rules, pool)
+	prog := analysis.ParseProgramPoolCtx(cctx, sources, reg, pool)
+	res, _ := analysis.AnalyzeBudgetedCtx(cctx, prog, aopts)
+	violations := rules.CheckPoolCtx(cctx, res, ctx, c.Rules, pool)
+	csp.End()
 	sp.End()
 	reg.Counter("checker.programs").Inc()
 	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
 	reg.Counter("checker.violations").Add(int64(len(violations)))
 	sorted := report.SortViolations(violations, res)
+	_, wsp := trace.Start(tctx, "witness")
 	traces := witness.Collect(sorted, res, ctx)
+	wsp.SetAttr("traces", fmt.Sprint(len(traces)))
+	wsp.End()
 	witness.Observe(reg, traces)
 	return sorted, traces
 }
@@ -430,23 +506,31 @@ func (c *CryptoChecker) CheckRequest(ctx context.Context, sources map[string]str
 	pool := c.opts.pool()
 	out := &CheckOutcome{}
 	sp := reg.StartSpan("check")
+	cctx, csp := trace.Start(ctx, "check")
 	err := resilience.Guard("check", func() error {
 		aopts := c.opts.Analysis
 		aopts.Budget = resilience.NewBudgetContext(ctx, c.opts.BudgetSteps, c.opts.BudgetWall)
 		aopts.Provenance = why
-		res, err := analysis.AnalyzeBudgeted(analysis.ParseProgramPool(sources, reg, pool), aopts)
+		res, err := analysis.AnalyzeBudgetedCtx(cctx, analysis.ParseProgramPoolCtx(cctx, sources, reg, pool), aopts)
 		if err != nil {
 			return err
 		}
 		out.Result = res
-		out.Violations = rules.CheckPool(res, rctx, c.Rules, pool)
+		out.Violations = rules.CheckPoolCtx(cctx, res, rctx, c.Rules, pool)
 		if why {
 			out.Violations = report.SortViolations(out.Violations, res)
+			_, wsp := trace.Start(cctx, "witness")
 			out.Traces = witness.Collect(out.Violations, res, rctx)
+			wsp.SetAttr("traces", fmt.Sprint(len(out.Traces)))
+			wsp.End()
 			witness.Observe(reg, out.Traces)
 		}
 		return nil
 	})
+	if err != nil {
+		csp.Annotate(string(resilience.Categorize(err)))
+	}
+	csp.End()
 	sp.End()
 	if err != nil {
 		return nil, err

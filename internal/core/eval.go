@@ -31,11 +31,19 @@ type Evaluation struct {
 
 // NewEvaluation mines and analyzes the corpus once.
 func NewEvaluation(c *corpus.Corpus, opts Options) *Evaluation {
+	return NewEvaluationCtx(context.Background(), c, opts)
+}
+
+// NewEvaluationCtx is NewEvaluation with trace propagation: under a traced
+// ctx the mining run attaches its span tree (mine → analyze → per-change
+// spans) to the current span. On an untraced ctx this is exactly
+// NewEvaluation.
+func NewEvaluationCtx(ctx context.Context, c *corpus.Corpus, opts Options) *Evaluation {
 	d := New(opts)
 	return &Evaluation{
 		DiffCode: d,
 		Corpus:   c,
-		Analyzed: d.MineCorpus(c),
+		Analyzed: d.MineCorpusCtx(ctx, c),
 		classRes: map[string]*ClassPipelineResult{},
 	}
 }

@@ -8,8 +8,9 @@ import (
 
 // NewDebugMux builds the introspection mux behind the -debug-addr flag:
 //
-//	/debug/vars   the live metrics snapshot as expvar-style JSON
-//	/debug/pprof  the standard pprof profiles for live profiling
+//	/debug/vars     the live metrics snapshot as expvar-style JSON
+//	/debug/metrics  the registry in Prometheus text exposition format
+//	/debug/pprof    the standard pprof profiles for live profiling
 //
 // The pprof handlers are registered explicitly rather than via the
 // net/http/pprof side-effect import so nothing leaks into
@@ -24,6 +25,10 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WriteProm(w, r) //nolint:errcheck — a broken scrape conn is the scraper's problem
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

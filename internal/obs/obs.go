@@ -198,6 +198,13 @@ type Histogram struct {
 	sum     atomic.Int64
 	min     atomic.Int64 // valid when count > 0
 	max     atomic.Int64
+
+	// exemplar labels the largest observation seen so far (the slowest
+	// request's trace ID); the lock is off the Observe fast path entirely —
+	// only ObserveExemplar takes it.
+	exMu sync.Mutex
+	exV  int64
+	ex   string
 }
 
 func newHistogram() *Histogram {
@@ -248,6 +255,39 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when label is non-empty, keeps it
+// as the histogram's exemplar if this is the largest observation so far.
+// The server links its slowest trace ID to each latency histogram this way,
+// so an operator can jump from "p99 is bad" straight to a retained trace.
+func (h *Histogram) ObserveExemplar(v int64, label string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if label == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.exMu.Lock()
+	if v >= h.exV || h.ex == "" {
+		h.exV, h.ex = v, label
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the label of the largest observation recorded through
+// ObserveExemplar ("" when none, or on nil).
+func (h *Histogram) Exemplar() string {
+	if h == nil {
+		return ""
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.ex
 }
 
 // Count returns the number of observations (0 on nil).

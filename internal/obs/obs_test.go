@@ -216,4 +216,16 @@ func TestDebugServer(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status = %d", resp2.StatusCode)
 	}
+	resp3, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("/debug/metrics Content-Type = %q", ct)
+	}
+	prom, _ := io.ReadAll(resp3.Body)
+	if !strings.Contains(string(prom), "hits_total 7") {
+		t.Fatalf("/debug/metrics missing counter:\n%s", prom)
+	}
 }

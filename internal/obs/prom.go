@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4, which WriteProm emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a legal Prometheus metric
+// name: the dotted names this codebase uses ("serve.check.latency_us")
+// become underscore-joined ("serve_check_latency_us"). Any byte outside
+// [a-zA-Z0-9_:] maps to '_'; a leading digit gets a '_' prefix.
+func promName(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteProm renders the full registry in the Prometheus text exposition
+// format (version 0.0.4): counters as <name>_total, gauges as-is, and
+// histograms with cumulative le-labeled buckets plus _sum and _count.
+// Output is sorted by metric name, so scrapes of identical registries are
+// byte-identical. A nil registry writes nothing.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistSnapshot, len(r.hists))
+	histNames := make([]string, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = snapshotHist(h)
+		histNames = append(histNames, name)
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name]); err != nil {
+			return err
+		}
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		if err := writePromHist(w, promName(name), hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, pn string, h HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	// The snapshot's buckets are per-bucket counts; Prometheus wants
+	// cumulative counts per upper bound, closed by the +Inf bucket. The
+	// overflow bucket reports the same bound as the last regular bucket, so
+	// fold it into the preceding line rather than emit a duplicate le label.
+	var cum int64
+	for i, b := range h.Buckets {
+		cum += b.N
+		if i+1 < len(h.Buckets) && h.Buckets[i+1].Le == b.Le {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pn, h.Count, pn, h.Sum, pn, h.Count)
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

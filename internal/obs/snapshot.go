@@ -26,13 +26,21 @@ type Snapshot struct {
 }
 
 // HistSnapshot is one histogram: summary statistics plus the non-empty
-// buckets (Le is the inclusive upper bound of each bucket).
+// buckets (Le is the inclusive upper bound of each bucket). P50/P90/P99 are
+// conservative quantile estimates derived from the bucket counts (see
+// Histogram.Quantile) — additive fields, so pre-quantile consumers of the
+// v1 schema keep parsing. Exemplar, when present, is the label (trace ID)
+// of the slowest observation.
 type HistSnapshot struct {
-	Count   int64        `json:"count"`
-	Sum     int64        `json:"sum"`
-	Min     int64        `json:"min"`
-	Max     int64        `json:"max"`
-	Buckets []HistBucket `json:"buckets,omitempty"`
+	Count    int64        `json:"count"`
+	Sum      int64        `json:"sum"`
+	Min      int64        `json:"min"`
+	Max      int64        `json:"max"`
+	P50      int64        `json:"p50,omitempty"`
+	P90      int64        `json:"p90,omitempty"`
+	P99      int64        `json:"p99,omitempty"`
+	Exemplar string       `json:"exemplar,omitempty"`
+	Buckets  []HistBucket `json:"buckets,omitempty"`
 }
 
 // HistBucket is one non-empty histogram bucket.
@@ -88,6 +96,10 @@ func snapshotHist(h *Histogram) HistSnapshot {
 	if out.Count > 0 {
 		out.Min = h.min.Load()
 		out.Max = h.max.Load()
+		out.P50 = h.Quantile(0.5)
+		out.P90 = h.Quantile(0.9)
+		out.P99 = h.Quantile(0.99)
+		out.Exemplar = h.Exemplar()
 	}
 	for i := 0; i <= numBuckets; i++ {
 		if n := h.buckets[i].Load(); n > 0 {

@@ -23,12 +23,14 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Pool is a bounded worker pool. The zero value and the nil pool are valid
@@ -162,5 +164,31 @@ func (p *Pool) pReg() *obs.Registry {
 func Map[T any](p *Pool, ctx context.Context, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	p.ForEach(ctx, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForEachCtx is ForEach with trace propagation: when ctx carries a span,
+// each task runs under a child span named "<name>[i]" whose sibling ordinal
+// is the task index — so the snapshot of the parent orders task spans by
+// index, not by completion, and the trace fingerprint is identical at every
+// worker count. On an untraced ctx the tasks see ctx unchanged and the only
+// extra cost is one nil check, preserving the byte-identical serial path.
+func (p *Pool) ForEachCtx(ctx context.Context, name string, n int, fn func(ctx context.Context, i int)) {
+	parent := trace.FromContext(ctx)
+	if parent == nil {
+		p.ForEach(ctx, n, func(i int) { fn(ctx, i) })
+		return
+	}
+	p.ForEach(ctx, n, func(i int) {
+		sp := parent.ChildOrd(fmt.Sprintf("%s[%d]", name, i), i)
+		defer sp.End()
+		fn(trace.NewContext(ctx, sp), i)
+	})
+}
+
+// MapCtx is Map with the same per-task trace propagation as ForEachCtx.
+func MapCtx[T any](p *Pool, ctx context.Context, name string, n int, fn func(ctx context.Context, i int) T) []T {
+	out := make([]T, n)
+	p.ForEachCtx(ctx, name, n, func(c context.Context, i int) { out[i] = fn(c, i) })
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cryptoapi"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Context carries project-level facts that some rules depend on. For rule
@@ -144,11 +145,24 @@ func Check(res *analysis.Result, ctx Context, ruleSet []*Rule) []Violation {
 // rule index, so the violation list keeps Check's stable rule-set order at
 // any worker count. A nil or one-worker pool is the exact serial path.
 func CheckPool(res *analysis.Result, ctx Context, ruleSet []*Rule, p *parallel.Pool) []Violation {
+	return CheckPoolCtx(context.Background(), res, ctx, ruleSet, p)
+}
+
+// CheckPoolCtx is CheckPool with trace propagation: under a traced tctx the
+// evaluation runs as a "rules" child span with one "rule[i]" span per rule
+// carrying the rule ID, ordered by rule-set index at any worker count. Rule
+// evaluation keeps its pre-trace contract of never being canceled mid-set
+// (the fan-out always ran under context.Background()); only the span
+// propagates. On an untraced tctx this is exactly CheckPool.
+func CheckPoolCtx(tctx context.Context, res *analysis.Result, ctx Context, ruleSet []*Rule, p *parallel.Pool) []Violation {
+	rctx, rsp := trace.Start(tctx, "rules")
+	defer rsp.End()
 	type outcome struct {
 		ok   bool
 		objs []*absdom.AObj
 	}
-	outcomes := parallel.Map(p, context.Background(), len(ruleSet), func(i int) outcome {
+	outcomes := parallel.MapCtx(p, trace.Detach(rctx), "rule", len(ruleSet), func(c context.Context, i int) outcome {
+		trace.FromContext(c).SetAttr("id", ruleSet[i].ID)
 		ok, objs := ruleSet[i].Matches(res, ctx)
 		return outcome{ok: ok, objs: objs}
 	})

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/change"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/rules"
+	"repro/internal/trace"
 	"repro/internal/witness"
 )
 
@@ -59,6 +61,9 @@ type CheckResponse struct {
 	// lists the request options it refused ("why").
 	Degraded bool     `json:"degraded,omitempty"`
 	Disabled []string `json:"disabled,omitempty"`
+	// TraceID identifies this request's trace when the server runs with
+	// tracing on (look it up at /debug/traces/<id>); absent otherwise.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Violation is one matched rule on the wire.
@@ -100,6 +105,8 @@ type ChangeSpec struct {
 type AnalyzeResponse struct {
 	Results  []ChangeResult `json:"results"`
 	Degraded bool           `json:"degraded,omitempty"`
+	// TraceID identifies this request's trace when tracing is on.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ChangeResult is the outcome for one change of the batch.
@@ -129,6 +136,10 @@ type ErrorInfo struct {
 	Category      string `json:"category"`
 	Message       string `json:"message"`
 	RetryAfterSec int64  `json:"retry_after_sec,omitempty"`
+	// TraceID identifies the failed request's trace when tracing is on —
+	// failed traces are always retained, so the ID is always resolvable at
+	// /debug/traces/<id> until it ages out of the ring.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -147,15 +158,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(b, '\n'))
 }
 
-// writeError writes the uniform error envelope.
-func (s *Server) writeError(w http.ResponseWriter, status int, category, message string) {
+// writeError writes the uniform error envelope. When ctx carries a trace
+// span the failure category annotates it (so tail-based retention keeps the
+// trace) and the envelope names the trace; on an untraced ctx the envelope
+// is byte-identical to the untraced build's.
+func (s *Server) writeError(ctx context.Context, w http.ResponseWriter, status int, category, message string) {
 	s.reg.Counter("serve.errors." + category).Inc()
-	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Status: status, Category: category, Message: message}})
+	sp := trace.FromContext(ctx)
+	sp.Annotate(category)
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{
+		Status: status, Category: category, Message: message, TraceID: sp.TraceID(),
+	}})
 }
 
 // writeShed writes the 429 load-shed response with its Retry-After hint
-// and feeds the degrader.
-func (s *Server) writeShed(w http.ResponseWriter, shed *shedInfo) {
+// and feeds the degrader. A shed request's trace is annotated "shed" — the
+// boundary category of the ledger taxonomy — and always retained.
+func (s *Server) writeShed(ctx context.Context, w http.ResponseWriter, shed *shedInfo) {
 	s.reg.Counter("serve.shed").Inc()
 	s.reg.Counter("serve.shed." + shed.reason).Inc()
 	s.deg.noteShed()
@@ -163,12 +182,15 @@ func (s *Server) writeShed(w http.ResponseWriter, shed *shedInfo) {
 	if sec < 1 {
 		sec = 1
 	}
+	sp := trace.FromContext(ctx)
+	sp.Annotate("shed")
 	w.Header().Set("Retry-After", strconv.FormatInt(sec, 10))
 	writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: ErrorInfo{
 		Status:        http.StatusTooManyRequests,
 		Category:      "shed",
 		Message:       "overloaded: " + shed.reason,
 		RetryAfterSec: sec,
+		TraceID:       sp.TraceID(),
 	}})
 }
 
@@ -193,16 +215,17 @@ func mapFailure(err error) (status int, category string) {
 
 // api wraps an endpoint handler with the boundary the whole server shares:
 // drain refusal, method check, body decode limit, per-request deadline,
-// admission control, and request/latency/failure telemetry.
+// admission control, per-request tracing, and request/latency/failure
+// telemetry.
 func (s *Server) api(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("serve." + name + ".requests").Inc()
 		if s.draining.Load() {
-			s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+			s.writeError(r.Context(), w, http.StatusServiceUnavailable, "draining", "server is draining")
 			return
 		}
 		if r.Method != http.MethodPost {
-			s.writeError(w, http.StatusMethodNotAllowed, "request", "use POST")
+			s.writeError(r.Context(), w, http.StatusMethodNotAllowed, "request", "use POST")
 			return
 		}
 		s.inflight.Add(1)
@@ -222,15 +245,33 @@ func (s *Server) api(name string, h func(ctx context.Context, w http.ResponseWri
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
+		// Root span: opened after the cheap boundary rejections (draining,
+		// method) so the ring holds analysis requests, and before admission
+		// so the queue wait is attributable. The keep/drop decision runs at
+		// request end, when outcome and latency are known (tail-based).
+		root := s.tracer.Root(name)
+		if root != nil {
+			ctx = trace.NewContext(ctx, root)
+			w.Header().Set("X-Trace-Id", root.TraceID())
+			defer func() {
+				root.End()
+				s.traces.Offer(trace.Finish(root))
+			}()
+		}
+
+		qsp := root.Child("queue")
 		release, shed := s.adm.acquire(ctx)
+		qsp.End()
 		if shed != nil {
-			s.writeShed(w, shed)
+			s.writeShed(ctx, w, shed)
 			return
 		}
 		defer release()
 		start := time.Now()
 		h(ctx, w, r)
-		s.reg.Histogram("serve." + name + ".latency_us").Observe(time.Since(start).Microseconds())
+		// The exemplar links this histogram's worst case to a trace ID; with
+		// tracing off the label is empty and this is a plain Observe.
+		s.reg.Histogram("serve."+name+".latency_us").ObserveExemplar(time.Since(start).Microseconds(), root.TraceID())
 	}
 }
 
@@ -270,11 +311,11 @@ func decode(r *http.Request, into any) error {
 func (s *Server) handleCheck(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	var req CheckRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "request", "decoding request body: "+err.Error())
+		s.writeError(ctx, w, http.StatusBadRequest, "request", "decoding request body: "+err.Error())
 		return
 	}
 	if len(req.Sources) == 0 {
-		s.writeError(w, http.StatusUnprocessableEntity, "io", "no sources in request")
+		s.writeError(ctx, w, http.StatusUnprocessableEntity, "io", "no sources in request")
 		return
 	}
 	ruleSet := s.opts.Rules
@@ -283,7 +324,7 @@ func (s *Server) handleCheck(ctx context.Context, w http.ResponseWriter, r *http
 		for _, id := range req.Rules {
 			rl := rules.ByID(id)
 			if rl == nil {
-				s.writeError(w, http.StatusUnprocessableEntity, "io", fmt.Sprintf("unknown rule %q", id))
+				s.writeError(ctx, w, http.StatusUnprocessableEntity, "io", fmt.Sprintf("unknown rule %q", id))
 				return
 			}
 			ruleSet = append(ruleSet, rl)
@@ -314,7 +355,7 @@ func (s *Server) handleCheck(ctx context.Context, w http.ResponseWriter, r *http
 	if err != nil {
 		status, category := mapFailure(err)
 		s.reg.Counter("serve.check.failures").Inc()
-		s.writeError(w, status, category, err.Error())
+		s.writeError(ctx, w, status, category, err.Error())
 		return
 	}
 	for _, v := range out.Violations {
@@ -330,6 +371,7 @@ func (s *Server) handleCheck(ctx context.Context, w http.ResponseWriter, r *http
 		resp.Violations = append(resp.Violations, wire)
 	}
 	resp.Traces = out.Traces
+	resp.TraceID = trace.FromContext(ctx).TraceID()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -347,11 +389,11 @@ func ruleContext(rc *RuleContext) rules.Context {
 func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "request", "decoding request body: "+err.Error())
+		s.writeError(ctx, w, http.StatusBadRequest, "request", "decoding request body: "+err.Error())
 		return
 	}
 	if len(req.Changes) == 0 {
-		s.writeError(w, http.StatusUnprocessableEntity, "io", "no changes in request")
+		s.writeError(ctx, w, http.StatusUnprocessableEntity, "io", "no changes in request")
 		return
 	}
 	classes := req.Classes
@@ -360,7 +402,7 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 	} else {
 		for _, cls := range classes {
 			if !cryptoapi.IsTarget(cls) {
-				s.writeError(w, http.StatusUnprocessableEntity, "io", fmt.Sprintf("unknown target class %q", cls))
+				s.writeError(ctx, w, http.StatusUnprocessableEntity, "io", fmt.Sprintf("unknown target class %q", cls))
 				return
 			}
 		}
@@ -375,10 +417,15 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 	resp := AnalyzeResponse{Results: make([]ChangeResult, 0, len(req.Changes)), Degraded: s.deg.degraded()}
 	for i, spec := range req.Changes {
 		res := ChangeResult{Index: i, UsageChanges: []UsageChange{}}
-		a, err := d.AnalyzeChangeCtx(ctx, mining.CodeChange{
+		// Each change gets its own span so a failed change annotates its
+		// slot in the tree, not the whole request; the serial loop makes the
+		// creation-order ordinals deterministic.
+		cctx, csp := trace.Start(ctx, fmt.Sprintf("change[%d]", i))
+		a, err := d.AnalyzeChangeCtx(cctx, mining.CodeChange{
 			Old: spec.Old, New: spec.New,
 			Meta: change.Meta{Project: spec.Project, Commit: spec.Commit, File: spec.File, Message: spec.Message},
 		})
+		csp.End()
 		if err != nil {
 			// Change-level fault containment: this change failed, the rest
 			// of the batch still analyzes — unless the whole request's
@@ -389,6 +436,9 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 			resp.Results = append(resp.Results, res)
 			s.reg.Counter("serve.analyze.change_failures").Inc()
 			if ctx.Err() != nil {
+				// The whole request hit its wall: the root span carries the
+				// category, so the trace is retained as a failure.
+				trace.FromContext(ctx).Annotate(category)
 				s.failRemaining(&resp, req.Changes, i+1, status, category)
 				break
 			}
@@ -411,6 +461,7 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 		}
 		resp.Results = append(resp.Results, res)
 	}
+	resp.TraceID = trace.FromContext(ctx).TraceID()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -452,12 +503,83 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Degraded: s.deg.degraded()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	b, err := obs.TakeSnapshot(s.reg, false).Marshal()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		b, err := obs.TakeSnapshot(s.reg, false).Marshal()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case "prom":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WriteProm(w, s.reg) //nolint:errcheck — a broken scrape conn is the scraper's problem
+	default:
+		s.writeError(r.Context(), w, http.StatusNotAcceptable, "request",
+			fmt.Sprintf("unknown metrics format %q (want json or prom)", format))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace inspector (/debug/traces, registered only when tracing is on)
+// ---------------------------------------------------------------------------
+
+// TraceSummary is one retained trace in the /debug/traces list: the Record
+// without its span tree.
+type TraceSummary struct {
+	TraceID     string `json:"trace_id"`
+	Name        string `json:"name"`
+	StartUnixUs int64  `json:"start_unix_us"`
+	DurUs       int64  `json:"dur_us"`
+	Category    string `json:"category,omitempty"`
+	Retained    string `json:"retained"`
+	Spans       int    `json:"spans"`
+}
+
+// TraceList is the /debug/traces response body, newest trace first.
+type TraceList struct {
+	Count  int            `json:"count"`
+	Traces []TraceSummary `json:"traces"`
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	list := TraceList{Traces: []TraceSummary{}}
+	for _, rec := range s.traces.List() {
+		list.Traces = append(list.Traces, TraceSummary{
+			TraceID:     rec.ID,
+			Name:        rec.Name,
+			StartUnixUs: rec.StartUnixUs,
+			DurUs:       rec.DurUs,
+			Category:    rec.Category,
+			Retained:    rec.Retained,
+			Spans:       rec.Spans,
+		})
+	}
+	list.Count = len(list.Traces)
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleTraceDetail(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	rec := s.traces.Get(id)
+	if rec == nil {
+		s.writeError(r.Context(), w, http.StatusNotFound, "request", fmt.Sprintf("no retained trace %q", id))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(b)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, rec)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %s %s %dµs", rec.ID, rec.Name, rec.DurUs)
+		if rec.Category != "" {
+			fmt.Fprintf(w, " [%s]", rec.Category)
+		}
+		fmt.Fprintf(w, " retained=%s\n\n%s", rec.Retained, rec.Root.Waterfall())
+	default:
+		s.writeError(r.Context(), w, http.StatusNotAcceptable, "request",
+			fmt.Sprintf("unknown trace format %q (want json or text)", format))
+	}
 }

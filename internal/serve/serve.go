@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rules"
+	"repro/internal/trace"
 
 	"repro/internal/core"
 )
@@ -73,6 +74,16 @@ type Options struct {
 	MaxBodyBytes int64
 	// Now is the degrader's clock (tests inject a fake; default wall clock).
 	Now func() time.Time
+	// Tracer enables per-request hierarchical tracing: every API request
+	// gets a root span (X-Trace-Id header, trace_id response field) with the
+	// pipeline's stages as children, retained by tail-based sampling and
+	// inspectable at /debug/traces. Nil keeps tracing off — every response
+	// is then byte-identical to an untraced build.
+	Tracer *trace.Tracer
+	// TraceStore tunes the tail-based retention buffer behind /debug/traces
+	// (zero values take the trace.StoreOptions defaults). Only consulted
+	// when Tracer is set.
+	TraceStore trace.StoreOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -111,11 +122,13 @@ func (o Options) withDefaults() Options {
 
 // Server is one fault-contained analysis service instance.
 type Server struct {
-	opts Options
-	reg  *obs.Registry
-	adm  *admission
-	deg  *degrader
-	mux  *http.ServeMux
+	opts   Options
+	reg    *obs.Registry
+	adm    *admission
+	deg    *degrader
+	mux    *http.ServeMux
+	tracer *trace.Tracer
+	traces *trace.Store
 
 	draining atomic.Bool
 	inflight atomic.Int64
@@ -132,10 +145,14 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Checker.Metrics
 	s := &Server{
-		opts: opts,
-		reg:  reg,
-		adm:  newAdmission(opts.MaxConcurrent, opts.MaxQueue, reg),
-		deg:  newDegrader(opts.DegradeThreshold, opts.DegradeWindow, opts.DegradeCooldown, opts.Now, reg),
+		opts:   opts,
+		reg:    reg,
+		adm:    newAdmission(opts.MaxConcurrent, opts.MaxQueue, reg),
+		deg:    newDegrader(opts.DegradeThreshold, opts.DegradeWindow, opts.DegradeCooldown, opts.Now, reg),
+		tracer: opts.Tracer,
+	}
+	if s.tracer != nil {
+		s.traces = trace.NewStore(opts.TraceStore, reg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", s.api("check", s.handleCheck))
@@ -143,12 +160,22 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.traces != nil {
+		// Registered only when tracing is on, so an untraced server's URL
+		// space (and its 404 surface) stays exactly what it was.
+		mux.HandleFunc("/debug/traces", s.handleTraceList)
+		mux.HandleFunc("/debug/traces/", s.handleTraceDetail)
+	}
 	if reg != nil {
 		mux.Handle("/debug/", obs.NewDebugMux(reg))
 	}
 	s.mux = mux
 	return s
 }
+
+// Traces returns the server's retained-trace buffer (nil when tracing is
+// off); the CLI dumps it at shutdown.
+func (s *Server) Traces() *trace.Store { return s.traces }
 
 // Handler returns the server's HTTP handler (tests mount it directly).
 func (s *Server) Handler() http.Handler { return s.mux }

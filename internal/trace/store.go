@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Retention reasons recorded on kept traces (the Record.Retained field).
+const (
+	RetainFailure = "failure" // the request failed — always kept
+	RetainSlow    = "slow"    // latency above the tail threshold — always kept
+	RetainSampled = "sampled" // fast and healthy — kept by the 1-in-N sampler
+)
+
+// Record is one finished, retained trace: the unit the ring buffer stores
+// and /debug/traces serves.
+type Record struct {
+	// ID is the trace ID (the root span's ID).
+	ID string `json:"trace_id"`
+	// Name is the root span's name (the endpoint or pipeline it traced).
+	Name string `json:"name"`
+	// StartUnixUs is the trace start on the tracer's clock.
+	StartUnixUs int64 `json:"start_unix_us"`
+	// DurUs is the root span's duration.
+	DurUs int64 `json:"dur_us"`
+	// Category is the root failure category ("" for a healthy request).
+	Category string `json:"category,omitempty"`
+	// Retained says why tail-based sampling kept this trace.
+	Retained string `json:"retained,omitempty"`
+	// Spans counts the spans in the tree.
+	Spans int `json:"spans"`
+	// Root is the full span tree.
+	Root *SpanData `json:"root"`
+}
+
+// Finish snapshots a finished root span into a Record (nil on a nil span).
+// The caller must have ended the span.
+func Finish(root *Span) *Record {
+	if root == nil {
+		return nil
+	}
+	data := Snapshot(root)
+	return &Record{
+		ID:          root.TraceID(),
+		Name:        data.Name,
+		StartUnixUs: root.start.UnixMicro(),
+		DurUs:       data.DurUs,
+		Category:    data.Category,
+		Spans:       data.SpanCount(),
+		Root:        data,
+	}
+}
+
+// StoreOptions configures the retention policy of a Store.
+type StoreOptions struct {
+	// Capacity bounds the ring buffer (default 256). The newest retained
+	// trace evicts the oldest once full — memory stays bounded no matter
+	// how long the server runs.
+	Capacity int
+	// SlowUs is the tail-latency threshold: traces at or above it are
+	// always retained (default 100ms). The operator tunes this to the
+	// service's SLO.
+	SlowUs int64
+	// SampleEvery keeps one in N of the fast, healthy traces (default 16;
+	// 1 keeps everything). The counter-based sampler is deterministic — no
+	// randomness, so tests and replays retain identically.
+	SampleEvery int
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 256
+	}
+	if o.SlowUs <= 0 {
+		o.SlowUs = (100 * time.Millisecond).Microseconds()
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 16
+	}
+	return o
+}
+
+// Store is the tail-based trace retention buffer: a bounded ring that
+// always keeps failed and slow traces and samples the healthy fast
+// majority. "Tail-based" because the keep/drop decision happens at the end
+// of the request, when its outcome and latency are known — head-based
+// sampling would have to decide before knowing whether the trace matters.
+type Store struct {
+	opts StoreOptions
+	reg  *obs.Registry
+
+	mu      sync.Mutex
+	ring    []*Record
+	next    int
+	total   int
+	healthy uint64 // deterministic 1-in-N sampling counter
+}
+
+// NewStore builds a retention buffer; telemetry lands in reg under trace.*
+// (nil reg disables it, as everywhere).
+func NewStore(opts StoreOptions, reg *obs.Registry) *Store {
+	o := opts.withDefaults()
+	return &Store{opts: o, reg: reg, ring: make([]*Record, o.Capacity)}
+}
+
+// SlowUs returns the effective tail-latency threshold.
+func (st *Store) SlowUs() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.opts.SlowUs
+}
+
+// Offer applies the tail-based retention policy to a finished trace and
+// reports whether it was kept. Nil-safe on both sides: a nil store or nil
+// record keeps nothing.
+func (st *Store) Offer(rec *Record) bool {
+	if st == nil || rec == nil {
+		return false
+	}
+	switch {
+	case rec.Category != "":
+		rec.Retained = RetainFailure
+	case rec.DurUs >= st.opts.SlowUs:
+		rec.Retained = RetainSlow
+	default:
+		st.mu.Lock()
+		st.healthy++
+		sampled := st.healthy%uint64(st.opts.SampleEvery) == 1 || st.opts.SampleEvery == 1
+		st.mu.Unlock()
+		if !sampled {
+			st.reg.Counter("trace.sampled_out").Inc()
+			return false
+		}
+		rec.Retained = RetainSampled
+	}
+	st.mu.Lock()
+	st.ring[st.next] = rec
+	st.next = (st.next + 1) % len(st.ring)
+	if st.total < len(st.ring) {
+		st.total++
+	}
+	st.mu.Unlock()
+	st.reg.Counter("trace.retained").Inc()
+	st.reg.Counter("trace.retained." + rec.Retained).Inc()
+	st.reg.Gauge("trace.buffered").Set(int64(st.Len()))
+	return true
+}
+
+// Len returns the number of buffered traces.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
+}
+
+// List returns the buffered traces, newest first.
+func (st *Store) List() []*Record {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Record, 0, st.total)
+	for i := 1; i <= st.total; i++ {
+		out = append(out, st.ring[(st.next-i+len(st.ring))%len(st.ring)])
+	}
+	return out
+}
+
+// Get returns the buffered trace with the given ID (nil when evicted or
+// never retained).
+func (st *Store) Get(id string) *Record {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := 1; i <= st.total; i++ {
+		if r := st.ring[(st.next-i+len(st.ring))%len(st.ring)]; r.ID == id {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package trace is the request-tracing layer of the pipeline: hierarchical
+// spans that turn the flat per-stage aggregates of internal/obs into a tree
+// of timed, attributed units of work per request or per pipeline run. Where
+// obs answers "how slow is the parse stage overall", a trace answers "which
+// stage of *this* request was slow" — the per-request attribution the
+// analysis server needs once aggregate counters say something is wrong.
+//
+// The design follows the conventions the rest of the codebase already
+// relies on:
+//
+//   - Nil safety: a nil *Tracer and a nil *Span are valid everywhere and
+//     turn every operation into a no-op costing one nil check, exactly like
+//     obs.Registry and resilience.Budget. With tracing off the pipeline's
+//     output is byte-identical to an untraced build.
+//   - Determinism: the ID source and the clock are injectable, and the
+//     canonical form of a finished trace (Snapshot → Fingerprint) depends
+//     only on tree structure, span names, ordering keys, categories, and
+//     attributes — never on IDs, wall-clock times, or goroutine scheduling.
+//     The same request traced at -workers 1 and -workers 8 fingerprints
+//     identically.
+//   - Concurrency: spans from the same trace may be started and ended from
+//     different worker goroutines; per-span state is mutex-guarded, and the
+//     deterministic child ordering uses explicit ordinals (the worker pool
+//     tags each task span with its task index).
+//
+// A trace is built top-down: Tracer.Root opens the root span, Span.Child /
+// Span.ChildOrd open nested spans, and context propagation (NewContext /
+// FromContext / Start) threads the current span through the pipeline without
+// widening every call signature.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so the
+// wire form is stable; numeric attributes are formatted by the caller.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Tracer mints spans. The zero Tracer is not usable; construct with New or
+// NewTracer. A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	now func() time.Time
+	ids func() uint64
+	seq atomic.Uint64 // backing sequence for the default ID source
+}
+
+// New returns a tracer using the wall clock and a process-local sequential
+// ID source (IDs are unique within the process; traces are scoped to one
+// process, so that is all uniqueness the inspector needs).
+func New() *Tracer { return NewTracer(nil, nil) }
+
+// NewTracer returns a tracer with an injectable ID source and clock; nil
+// selects the defaults. Golden tests inject both so trace IDs and rendered
+// durations are byte-stable. Injected sources must be safe for concurrent
+// use (spans are minted from worker goroutines), like the defaults.
+func NewTracer(ids func() uint64, now func() time.Time) *Tracer {
+	t := &Tracer{ids: ids, now: now}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if t.ids == nil {
+		t.ids = func() uint64 { return t.seq.Add(1) }
+	}
+	return t
+}
+
+// Root opens a new trace: a parentless span whose ID doubles as the trace
+// ID. Nil-safe: a nil tracer returns a nil (inert) span.
+func (t *Tracer) Root(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, name: name, id: t.ids(), start: t.now(), ord: -1}
+}
+
+// Span is one timed unit of work in a trace. All methods are safe on a nil
+// span (no-ops), and safe for concurrent use on a shared span (the worker
+// pool attaches child spans from many goroutines).
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     uint64
+	start  time.Time
+	// ord is the deterministic ordering key among siblings: the task index
+	// for pool fan-out spans, the serial creation ordinal otherwise.
+	ord int
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	category string
+	attrs    []Attr
+	children []*Span
+	nextOrd  int
+}
+
+// Child opens a child span. Sibling order is the serial creation order,
+// which is deterministic exactly when the children are created from one
+// goroutine; concurrent creators must use ChildOrd with an explicit
+// ordinal (the worker pool does). Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ord := s.nextOrd
+	s.nextOrd++
+	c := &Span{tracer: s.tracer, name: name, id: s.tracer.ids(), start: s.tracer.now(), ord: ord}
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildOrd opens a child span with an explicit sibling ordinal — the
+// deterministic ordering key for spans created concurrently (the worker
+// pool passes the task index). Nil-safe.
+func (s *Span) ChildOrd(name string, ord int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	c := &Span{tracer: s.tracer, name: name, id: s.tracer.ids(), start: s.tracer.now(), ord: ord}
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first end time; ending a nil
+// span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.now()
+	s.mu.Lock()
+	if !s.ended {
+		s.end, s.ended = now, true
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr appends one annotation. Attribute order is append order; for a
+// deterministic trace, attach attributes from the goroutine that owns the
+// span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Annotate marks the span with a failure category from the ledger taxonomy
+// ("panic", "budget", "canceled", "shed", ...). The first annotation wins;
+// an empty category is ignored. Nil-safe.
+func (s *Span) Annotate(category string) {
+	if s == nil || category == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.category == "" {
+		s.category = category
+	}
+	s.mu.Unlock()
+}
+
+// Category returns the span's failure category ("" when it succeeded or on
+// a nil span).
+func (s *Span) Category() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.category
+}
+
+// TraceID renders the span's ID as the 16-hex-digit trace identifier (the
+// root span's ID is the trace ID). Empty on a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", s.id)
+}
+
+// ---------------------------------------------------------------------------
+// Context propagation
+// ---------------------------------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span as the current span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span of ctx (nil when ctx is untraced —
+// the nil span is inert, so callers never need to check).
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of ctx's current span and returns a context carrying
+// it. On an untraced ctx both returns are inert (the original ctx and a nil
+// span), so the traced and untraced paths share one call site.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.Child(name)
+	return NewContext(ctx, c), c
+}
+
+// Detach returns a fresh background context carrying only ctx's current
+// span: trace propagation without ctx's deadline or cancellation. The batch
+// pipeline uses this where budgets must stay unbound from a batch's cancel
+// context while task spans still attach to the right parent.
+func Detach(ctx context.Context) context.Context {
+	return NewContext(context.Background(), FromContext(ctx))
+}

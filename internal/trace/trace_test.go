@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock advancing stepUs per call.
+// Injected clocks must be safe for concurrent use, like time.Now.
+func fakeClock(stepUs int64) func() time.Time {
+	base := time.Unix(1700000000, 0)
+	var calls atomic.Int64
+	return func() time.Time {
+		return base.Add(time.Duration(calls.Add(1)*stepUs) * time.Microsecond)
+	}
+}
+
+// fakeIDs returns a deterministic sequential ID source.
+func fakeIDs() func() uint64 {
+	var n uint64
+	var mu sync.Mutex
+	return func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return n
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Root("x")
+	if s != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	// Every span operation must be a no-op on nil.
+	s.End()
+	s.SetAttr("k", "v")
+	s.Annotate("panic")
+	if s.Child("c") != nil || s.ChildOrd("c", 1) != nil {
+		t.Error("nil span minted a child")
+	}
+	if s.TraceID() != "" || s.Category() != "" {
+		t.Error("nil span has identity")
+	}
+	if Snapshot(s) != nil {
+		t.Error("nil span snapshots to non-nil")
+	}
+	ctx, sp := Start(context.Background(), "stage")
+	if sp != nil || FromContext(ctx) != nil {
+		t.Error("untraced context produced a live span")
+	}
+	var st *Store
+	if st.Offer(&Record{}) || st.Len() != 0 || st.Get("x") != nil || st.List() != nil {
+		t.Error("nil store retained something")
+	}
+}
+
+func TestHierarchyAndContext(t *testing.T) {
+	tr := NewTracer(fakeIDs(), fakeClock(10))
+	root := tr.Root("run")
+	ctx := NewContext(context.Background(), root)
+	ctx2, stage := Start(ctx, "mine")
+	if FromContext(ctx2) != stage {
+		t.Fatal("Start did not install the child span")
+	}
+	_, inner := Start(ctx2, "parse")
+	inner.SetAttr("file", "A.java")
+	inner.End()
+	stage.End()
+	root.End()
+
+	d := Snapshot(root)
+	if d.Name != "run" || len(d.Children) != 1 || d.Children[0].Name != "mine" {
+		t.Fatalf("unexpected tree: %s", d.Render())
+	}
+	if got := d.Children[0].Children[0].Attrs[0]; got.Key != "file" || got.Value != "A.java" {
+		t.Errorf("attr lost: %+v", got)
+	}
+	if root.TraceID() != fmt.Sprintf("%016x", 1) {
+		t.Errorf("trace ID = %q", root.TraceID())
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr := NewTracer(fakeIDs(), fakeClock(1))
+	root := tr.Root("run")
+	ctx, cancel := context.WithCancel(NewContext(context.Background(), root))
+	cancel()
+	d := Detach(ctx)
+	if d.Err() != nil {
+		t.Error("Detach kept the cancellation")
+	}
+	if FromContext(d) != root {
+		t.Error("Detach dropped the span")
+	}
+}
+
+// TestDeterministicOrdering pins the central contract: children created
+// concurrently with explicit ordinals snapshot in ordinal order, so the
+// fingerprint is independent of scheduling.
+func TestDeterministicOrdering(t *testing.T) {
+	fingerprint := func() string {
+		tr := NewTracer(fakeIDs(), fakeClock(3))
+		root := tr.Root("batch")
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := root.ChildOrd(fmt.Sprintf("task[%d]", i), i)
+				c.SetAttr("idx", fmt.Sprint(i))
+				c.End()
+			}(i)
+		}
+		wg.Wait()
+		root.End()
+		return Snapshot(root).Fingerprint()
+	}
+	want := fingerprint()
+	for round := 0; round < 8; round++ {
+		if got := fingerprint(); got != want {
+			t.Fatalf("round %d: fingerprint %s != %s", round, got, want)
+		}
+	}
+}
+
+// TestFingerprintIgnoresTimesAndIDs: the same structure under different
+// clocks and ID sources fingerprints identically, and a structural change
+// (name, category, attr) changes it.
+func TestFingerprintIgnoresTimesAndIDs(t *testing.T) {
+	build := func(ids func() uint64, now func() time.Time, category string) string {
+		tr := NewTracer(ids, now)
+		root := tr.Root("check")
+		c := root.Child("interpret")
+		c.Annotate(category)
+		c.End()
+		root.End()
+		return Snapshot(root).Fingerprint()
+	}
+	a := build(fakeIDs(), fakeClock(5), "")
+	var wild uint64 = 1000
+	b := build(func() uint64 { wild += 17; return wild }, fakeClock(999), "")
+	if a != b {
+		t.Errorf("fingerprint depends on IDs or clock: %s vs %s", a, b)
+	}
+	if c := build(fakeIDs(), fakeClock(5), "budget"); c == a {
+		t.Error("fingerprint ignores the failure category")
+	}
+}
+
+func TestRenderAndWaterfall(t *testing.T) {
+	tr := NewTracer(fakeIDs(), fakeClock(100))
+	root := tr.Root("check")
+	p := root.Child("parse")
+	p.End()
+	i := root.Child("interpret")
+	i.SetAttr("steps", "42")
+	i.Annotate("budget")
+	i.End()
+	root.End()
+	d := Snapshot(root)
+
+	text := d.Render()
+	for _, want := range []string{"check ", "  parse ", "  interpret ", "[budget]", "steps=42"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+	wf := d.Waterfall()
+	if !strings.Contains(wf, "█") || !strings.Contains(wf, "[budget]") {
+		t.Errorf("waterfall missing bars or category:\n%s", wf)
+	}
+	if lines := strings.Count(wf, "\n"); lines != 3 {
+		t.Errorf("waterfall has %d lines, want 3:\n%s", lines, wf)
+	}
+	if !strings.Contains(d.JSON(), `"name": "interpret"`) {
+		t.Errorf("JSON missing span: %s", d.JSON())
+	}
+}
+
+func TestSnapshotUnended(t *testing.T) {
+	tr := NewTracer(fakeIDs(), fakeClock(10))
+	root := tr.Root("run")
+	root.Child("hung") // never ended
+	root.End()
+	d := Snapshot(root)
+	if len(d.Children) != 1 || d.Children[0].DurUs != 0 {
+		t.Errorf("unended child should snapshot with zero duration: %+v", d.Children[0])
+	}
+}
+
+func record(id, category string, durUs int64) *Record {
+	return &Record{ID: id, Name: "check", DurUs: durUs, Category: category,
+		Root: &SpanData{Name: "check", DurUs: durUs, Category: category}}
+}
+
+func TestStoreTailPolicy(t *testing.T) {
+	st := NewStore(StoreOptions{Capacity: 8, SlowUs: 1000, SampleEvery: 4}, nil)
+	// Failures and slow traces are always retained.
+	if !st.Offer(record("f1", "budget", 10)) {
+		t.Error("failed trace dropped")
+	}
+	if !st.Offer(record("s1", "", 5000)) {
+		t.Error("slow trace dropped")
+	}
+	if st.Get("f1").Retained != RetainFailure || st.Get("s1").Retained != RetainSlow {
+		t.Error("retention reasons wrong")
+	}
+	// Fast healthy traces sample 1-in-4: the first of each window of four.
+	kept := 0
+	for i := 0; i < 8; i++ {
+		if st.Offer(record(fmt.Sprintf("h%d", i), "", 10)) {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Errorf("sampled %d of 8 healthy traces, want 2", kept)
+	}
+	if st.Get("h0").Retained != RetainSampled {
+		t.Error("sampled trace lost its reason")
+	}
+}
+
+func TestStoreRingEviction(t *testing.T) {
+	st := NewStore(StoreOptions{Capacity: 4, SlowUs: 1, SampleEvery: 1}, nil)
+	for i := 0; i < 10; i++ {
+		st.Offer(record(fmt.Sprintf("t%d", i), "", 100))
+	}
+	if st.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", st.Len())
+	}
+	list := st.List()
+	if list[0].ID != "t9" || list[3].ID != "t6" {
+		t.Errorf("List order wrong: %s .. %s", list[0].ID, list[3].ID)
+	}
+	if st.Get("t0") != nil {
+		t.Error("evicted trace still retrievable")
+	}
+	if st.Get("t9") == nil {
+		t.Error("newest trace missing")
+	}
+}
+
+func TestStoreSampleEveryOne(t *testing.T) {
+	st := NewStore(StoreOptions{Capacity: 8, SlowUs: 1 << 40, SampleEvery: 1}, nil)
+	for i := 0; i < 5; i++ {
+		if !st.Offer(record(fmt.Sprintf("t%d", i), "", 1)) {
+			t.Fatal("SampleEvery=1 must keep everything")
+		}
+	}
+}

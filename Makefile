@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve bench-trace clean
+.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve bench-trace bench-incr clean
 
 all: build vet test
 
@@ -67,5 +67,12 @@ bench-serve:
 bench-trace:
 	BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json $(GO) test -run TestWriteBenchTrace -count=1 -v .
 
+# Incremental-run snapshot: the mining pipeline cold (empty artifact
+# directory) vs fully warm (re-run over the populated directory), into
+# BENCH_incr.json (same schema). Acceptance: speedup_milli >= 10000 (>=10x)
+# and zero analysis misses on the warm run, asserted by the test itself.
+bench-incr:
+	BENCH_INCR_OUT=$(CURDIR)/BENCH_incr.json $(GO) test -run TestWriteBenchIncr -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json BENCH_trace.json
+	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json BENCH_trace.json BENCH_incr.json

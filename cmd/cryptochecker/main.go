@@ -75,6 +75,9 @@ func main() {
 	// dump goes to stderr right after the pipeline so it survives the
 	// violation-dependent exit codes below.
 	tctx, troot := std.Trace().Begin("cryptochecker")
+	// The artifact store caches per-file parses and -rulefile compilations;
+	// with -cache-dir the parses persist across runs.
+	store := std.Artifacts(run.Reg)
 
 	ruleSet := rules.All()
 	if *ruleList != "" {
@@ -93,7 +96,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
 			os.Exit(1)
 		}
-		extra, err := ruledsl.ParseFile(string(content))
+		extra, err := ruledsl.ParseFileCached(string(content), store)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cryptochecker: %s: %v\n", *ruleFile, err)
 			os.Exit(1)
@@ -144,7 +147,7 @@ func main() {
 	sp := run.Reg.StartSpan("check")
 	err = resilience.Guard("analyze", func() error {
 		var aerr error
-		res, aerr = analysis.AnalyzeBudgetedCtx(tctx, analysis.ParseProgramPoolCtx(tctx, sources, run.Reg, pool),
+		res, aerr = analysis.AnalyzeBudgetedCtx(tctx, analysis.ParseProgramStoreCtx(tctx, sources, run.Reg, pool, store),
 			analysis.Options{Budget: resilience.NewBudget(*budget, 0), Metrics: run.Reg,
 				Provenance: why.On()})
 		return aerr

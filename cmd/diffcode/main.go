@@ -46,10 +46,14 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		shards    = flag.Int("shards", 1, "analyze and filter the mined corpus in N contiguous shards (map-reduce over a shared -cache-dir; output is identical at any N)")
 		std       = cliutil.StandardFlags("diffcode")
 	)
 	std.Parse()
 	why := std.Why()
+	if *shards < 1 {
+		cliutil.UsageError("diffcode", "-shards must be at least 1 (got %d)", *shards)
+	}
 
 	run, err := obs.NewCLI("diffcode", *metrics, *debugAddr, *verbose)
 	if err != nil {
@@ -68,6 +72,7 @@ func main() {
 		Metrics:          run.Reg,
 		Workers:          std.Workers(),
 		DisableDistCache: !std.DistCache(),
+		Artifacts:        std.Artifacts(run.Reg),
 	}
 	classes := cryptoapi.TargetClasses
 	if *class != "" {
@@ -85,7 +90,7 @@ func main() {
 		if why.On() {
 			cliutil.UsageError("diffcode", "-why applies to single-change mode (-old/-new) only")
 		}
-		runCorpus(tctx, run, *corpusDir, classes, opts)
+		runCorpus(tctx, run, *corpusDir, classes, opts, *shards)
 	default:
 		cliutil.UsageError("diffcode", "need either -old/-new or -corpus")
 	}
@@ -202,12 +207,13 @@ func countRules(ts []witness.Trace) int {
 	return len(seen)
 }
 
-func runCorpus(tctx context.Context, run *obs.CLI, dir string, classes []string, opts core.Options) {
+func runCorpus(tctx context.Context, run *obs.CLI, dir string, classes []string, opts core.Options, shards int) {
 	// One ledger spans the whole run: corpus loading and mining both record
 	// the work they skipped into it.
 	ledger := resilience.NewLedger()
 	opts.Ledger = ledger
-	loadOpts := []corpus.LoadOption{corpus.WithLedger(ledger), corpus.WithMetrics(run.Reg)}
+	loadOpts := []corpus.LoadOption{corpus.WithLedger(ledger), corpus.WithMetrics(run.Reg),
+		corpus.WithArtifacts(opts.Artifacts)}
 	if opts.FailFast {
 		loadOpts = append(loadOpts, corpus.Strict())
 	}
@@ -218,11 +224,32 @@ func runCorpus(tctx context.Context, run *obs.CLI, dir string, classes []string,
 		os.Exit(1)
 	}
 	d := core.New(opts)
-	analyzed := d.MineCorpusCtx(tctx, c)
+	// -shards N analyzes and class-filters the mined corpus in N contiguous
+	// shards, merging per-class results (core.MergeClassResults) into exactly
+	// the monolithic output; -shards 1 is the classic single-pass path.
+	var analyzed []*core.AnalyzedChange
+	var shardAnalyzed [][]*core.AnalyzedChange
+	if shards > 1 {
+		shardAnalyzed = d.MineCorpusShardsCtx(tctx, c, shards)
+		for _, sh := range shardAnalyzed {
+			analyzed = append(analyzed, sh...)
+		}
+	} else {
+		analyzed = d.MineCorpusCtx(tctx, c)
+	}
 	fmt.Printf("mined %d code changes from %d training projects\n\n",
 		len(analyzed), len(c.TrainingProjects()))
 	for _, cls := range classes {
-		r := d.RunClassCtx(tctx, analyzed, cls)
+		var r core.ClassPipelineResult
+		if shards > 1 {
+			parts := make([]core.ClassPipelineResult, len(shardAnalyzed))
+			for i, sh := range shardAnalyzed {
+				parts[i] = d.RunClassCtx(tctx, sh, cls)
+			}
+			r = core.MergeClassResults(cls, parts...)
+		} else {
+			r = d.RunClassCtx(tctx, analyzed, cls)
+		}
 		s := r.Stats
 		fmt.Printf("%s: %d usage changes → fsame %d → fadd %d → frem %d → fdup %d\n",
 			cls, s.Total, s.AfterSame, s.AfterAdd, s.AfterRem, s.AfterDup)

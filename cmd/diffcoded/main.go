@@ -82,6 +82,10 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		Tracer:         tracer,
+		// The process-lifetime artifact store: repeated identical requests
+		// are served from cache; -cache-dir persists artifacts across
+		// restarts (empty = in-memory only, the serve default either way).
+		Artifacts: std.Artifacts(reg),
 	})
 
 	errc := make(chan error, 1)

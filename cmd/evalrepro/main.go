@@ -103,6 +103,10 @@ func main() {
 		Metrics:          run.Reg,
 		Workers:          std.Workers(),
 		DisableDistCache: !std.DistCache(),
+		// -cache-dir wires the artifact store through the checker paths
+		// (Figure 10, -trend); the evaluation harness itself strips it
+		// (NewEvaluationCtx needs live analysis results for Figure 7).
+		Artifacts: std.Artifacts(run.Reg),
 	}
 
 	start := time.Now()

@@ -13,6 +13,8 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/artifact"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -30,6 +32,15 @@ func WorkersFlag() *int {
 func DistCacheFlag() *bool {
 	return flag.Bool("dist-cache", true,
 		"memoize clustering distance kernels (results are identical either way; -dist-cache=false recomputes every pair)")
+}
+
+// CacheDirFlag registers the uniform -cache-dir flag on the default flag
+// set: the root directory of the persistent artifact store behind
+// incremental runs. Empty (the default) keeps artifacts in memory only —
+// within-run reuse without leaving anything on disk.
+func CacheDirFlag() *string {
+	return flag.String("cache-dir", "",
+		"persist content-addressed artifacts (parsed ASTs, analysis results, check outcomes) under this directory; warm re-runs recompute only what changed (empty = in-memory only)")
 }
 
 // ValidateWorkers checks a -workers value: every worker pool needs at least
@@ -65,6 +76,7 @@ type Standard struct {
 	why       *WhyMode
 	distCache *bool
 	trace     *TraceMode
+	cacheDir  *string
 }
 
 // StandardFlags registers the shared flag set for the named tool on the
@@ -76,6 +88,7 @@ func StandardFlags(tool string) *Standard {
 		why:       WhyFlag(),
 		distCache: DistCacheFlag(),
 		trace:     TraceFlag(),
+		cacheDir:  CacheDirFlag(),
 	}
 }
 
@@ -102,6 +115,18 @@ func (s *Standard) DistCache() bool { return *s.distCache }
 
 // Trace returns the parsed -trace mode.
 func (s *Standard) Trace() TraceMode { return *s.trace }
+
+// CacheDir returns the -cache-dir value ("" = in-memory artifacts only).
+func (s *Standard) CacheDir() string { return *s.cacheDir }
+
+// Artifacts builds the tool's artifact store from -cache-dir: disk-backed
+// when a directory was given, in-memory otherwise. Every CLI run gets a
+// store — within-run artifact reuse (duplicate commits, repeated snippets)
+// costs nothing and changes no output; the flag only decides persistence.
+// Telemetry lands in reg under artifact.*.
+func (s *Standard) Artifacts(reg *obs.Registry) *artifact.Store {
+	return artifact.New(artifact.Config{Dir: *s.cacheDir, Metrics: reg})
+}
 
 // WhyMode is the parsed value of the uniform -why flag.
 type WhyMode string

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/artifact"
 	"repro/internal/change"
 	"repro/internal/cluster"
 	"repro/internal/corpus"
@@ -66,6 +67,14 @@ type Options struct {
 	// value keeps the cache on; results are bit-identical either way — the
 	// cache only changes how often the distance kernels run.
 	DisableDistCache bool
+	// Artifacts, when non-nil, is the content-addressed artifact store
+	// behind the incremental pipeline (the -cache-dir CLI toggle): parse
+	// results, per-change analysis extractions, and check outcomes are
+	// cached by content hash and reused across runs. Nil (the default)
+	// disables artifact caching entirely — the exact pre-artifact pipeline.
+	// Output is byte-identical with the store on or off; only how often
+	// the parser, interpreter, and checker run changes.
+	Artifacts *artifact.Store
 }
 
 // pool builds the worker pool the pipeline's batch stages dispatch onto.
@@ -91,6 +100,9 @@ type DiffCode struct {
 	opts   Options
 	ledger *resilience.Ledger
 	engine *distcache.Engine
+	// optFP fingerprints the result-shaping options once; it prefixes
+	// every analysis-artifact key this instance derives.
+	optFP string
 }
 
 // New returns a DiffCode instance.
@@ -100,7 +112,7 @@ func New(opts Options) *DiffCode {
 	if l == nil {
 		l = resilience.NewLedger()
 	}
-	d := &DiffCode{opts: opts, ledger: l}
+	d := &DiffCode{opts: opts, ledger: l, optFP: optFingerprint(opts)}
 	if !opts.DisableDistCache {
 		d.engine = distcache.New(opts.Metrics)
 	}
@@ -136,6 +148,10 @@ type AnalyzedChange struct {
 	// (pre-filter granularity, before abstraction).
 	UsesOld map[string]bool
 	UsesNew map[string]bool
+	// art holds the cached per-class extraction when the change resolved
+	// through the artifact store; on a warm hit Old/New stay nil and
+	// ExtractClass instantiates from here instead.
+	art *changeArtifact
 }
 
 // UsesClass reports whether either version uses the class.
@@ -176,8 +192,49 @@ func (d *DiffCode) AnalyzeChangeCtx(ctx context.Context, cc mining.CodeChange) (
 // analyzeChange is AnalyzeChange plus the pipeline phase a failure belongs
 // to (parse vs analyze) for ledger bookkeeping. When ctx carries a trace
 // span, the parse and the two interpreter runs appear as child spans and a
-// failure annotates ctx's span with its ledger category.
+// failure annotates ctx's span with its ledger category. With an artifact
+// store configured the change resolves through analyzedOutcome — a warm
+// hit skips parse and interpretation entirely (and so creates none of
+// their spans) while producing an identical AnalyzedChange downstream.
 func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
+	var a *AnalyzedChange
+	if d.opts.Artifacts == nil {
+		var phase resilience.Phase
+		var err error
+		a, phase, err = d.analyzeChangeLive(ctx, cc)
+		if err != nil {
+			trace.FromContext(ctx).Annotate(string(resilience.Categorize(err)))
+			return nil, phase, err
+		}
+	} else {
+		oc, phase, err := d.analyzedOutcome(ctx, cc)
+		if err != nil {
+			trace.FromContext(ctx).Annotate(string(resilience.Categorize(err)))
+			return nil, phase, err
+		}
+		a = &AnalyzedChange{
+			Meta:   cc.Meta,
+			Kind:   cc.Kind,
+			OldSrc: cc.Old,
+			NewSrc: cc.New,
+			Old:    oc.old,
+			New:    oc.new,
+			art:    oc.art,
+		}
+	}
+	d.opts.Metrics.Counter("analysis.changes_analyzed").Inc()
+	a.UsesOld, a.UsesNew = map[string]bool{}, map[string]bool{}
+	for _, c := range cryptoapi.TargetClasses {
+		a.UsesOld[c] = mining.UsesClass(cc.Old, c)
+		a.UsesNew[c] = mining.UsesClass(cc.New, c)
+	}
+	return a, "", nil
+}
+
+// analyzeChangeLive parses and interprets both versions of one change —
+// the storeless pipeline body, also run (under single-flight) on an
+// artifact miss. Callers fill the Uses maps and count changes_analyzed.
+func (d *DiffCode) analyzeChangeLive(ctx context.Context, cc mining.CodeChange) (*AnalyzedChange, resilience.Phase, error) {
 	task := taskName(cc)
 	reg := d.opts.Metrics
 	var progOld, progNew *analysis.Program
@@ -189,16 +246,13 @@ func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*An
 	})
 	sp.End()
 	if err != nil {
-		trace.FromContext(ctx).Annotate(string(resilience.Categorize(err)))
 		return nil, resilience.PhaseParse, err
 	}
 	a := &AnalyzedChange{
-		Meta:    cc.Meta,
-		Kind:    cc.Kind,
-		OldSrc:  cc.Old,
-		NewSrc:  cc.New,
-		UsesOld: map[string]bool{},
-		UsesNew: map[string]bool{},
+		Meta:   cc.Meta,
+		Kind:   cc.Kind,
+		OldSrc: cc.Old,
+		NewSrc: cc.New,
 	}
 	sp = reg.StartSpanTask("analyze", task)
 	err = resilience.Guard(task, func() error {
@@ -218,13 +272,7 @@ func (d *DiffCode) analyzeChange(ctx context.Context, cc mining.CodeChange) (*An
 	})
 	sp.End()
 	if err != nil {
-		trace.FromContext(ctx).Annotate(string(resilience.Categorize(err)))
 		return nil, resilience.PhaseAnalyze, err
-	}
-	reg.Counter("analysis.changes_analyzed").Inc()
-	for _, c := range cryptoapi.TargetClasses {
-		a.UsesOld[c] = mining.UsesClass(cc.Old, c)
-		a.UsesNew[c] = mining.UsesClass(cc.New, c)
 	}
 	return a, "", nil
 }
@@ -287,8 +335,13 @@ func (d *DiffCode) AnalyzeAllCtx(tctx context.Context, ccs []mining.CodeChange) 
 }
 
 // ExtractClass derives the usage changes of one target class from an
-// analyzed change.
+// analyzed change. A change that resolved through the artifact store
+// instantiates its cached extraction (stamping this change's meta);
+// otherwise the extraction runs live on the analysis results.
 func (d *DiffCode) ExtractClass(a *AnalyzedChange, class string) []change.UsageChange {
+	if a.art != nil {
+		return a.art.instantiate(class, a.Meta)
+	}
 	return change.Extract(a.Old, a.New, class, d.opts.Depth, a.Meta)
 }
 
@@ -405,6 +458,10 @@ func (d *DiffCode) ClusterChangesCtx(ctx context.Context, changes []change.Usage
 type CryptoChecker struct {
 	Rules []*rules.Rule
 	opts  Options
+	// optFP/rulesFP fingerprint the checker's options and rule set once;
+	// together they prefix every check-outcome artifact key.
+	optFP   string
+	rulesFP string
 }
 
 // NewChecker returns a checker over the given rules (default: all 13).
@@ -412,7 +469,13 @@ func NewChecker(ruleSet []*rules.Rule, opts Options) *CryptoChecker {
 	if len(ruleSet) == 0 {
 		ruleSet = rules.All()
 	}
-	return &CryptoChecker{Rules: ruleSet, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	return &CryptoChecker{
+		Rules:   ruleSet,
+		opts:    opts,
+		optFP:   optFingerprint(opts),
+		rulesFP: rulesFingerprint(ruleSet),
+	}
 }
 
 // CheckSources analyzes the given files as one program and reports all rule
@@ -432,7 +495,7 @@ func (c *CryptoChecker) CheckSourcesCtx(tctx context.Context, sources map[string
 	pool := c.opts.pool()
 	sp := reg.StartSpan("check")
 	cctx, csp := trace.Start(tctx, "check")
-	prog := analysis.ParseProgramPoolCtx(cctx, sources, reg, pool)
+	prog := analysis.ParseProgramStoreCtx(cctx, sources, reg, pool, c.opts.Artifacts)
 	res, _ := analysis.AnalyzeBudgetedCtx(cctx, prog, c.opts.Analysis)
 	violations := rules.CheckPoolCtx(cctx, res, ctx, c.Rules, pool)
 	csp.End()
@@ -462,7 +525,7 @@ func (c *CryptoChecker) CheckSourcesWhyCtx(tctx context.Context, sources map[str
 	cctx, csp := trace.Start(tctx, "check")
 	aopts := c.opts.Analysis
 	aopts.Provenance = true
-	prog := analysis.ParseProgramPoolCtx(cctx, sources, reg, pool)
+	prog := analysis.ParseProgramStoreCtx(cctx, sources, reg, pool, c.opts.Artifacts)
 	res, _ := analysis.AnalyzeBudgetedCtx(cctx, prog, aopts)
 	violations := rules.CheckPoolCtx(cctx, res, ctx, c.Rules, pool)
 	csp.End()
@@ -502,6 +565,26 @@ type CheckOutcome struct {
 // tightened by ctx's deadline and trips early if ctx is canceled (a
 // disconnected client stops paying for analysis nobody will read).
 func (c *CryptoChecker) CheckRequest(ctx context.Context, sources map[string]string, rctx rules.Context, why bool) (*CheckOutcome, error) {
+	out, err := c.checkOutcome(ctx, sources, rctx, why)
+	if err != nil {
+		return nil, err
+	}
+	// Per-request accounting fires once for every request served — the live
+	// leader, its single-flight waiters, and warm artifact hits alike.
+	reg := c.opts.Metrics
+	reg.Counter("checker.programs").Inc()
+	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
+	reg.Counter("checker.violations").Add(int64(len(out.Violations)))
+	if why {
+		witness.Observe(reg, out.Traces)
+	}
+	return out, nil
+}
+
+// checkLive runs one guarded, budgeted, cancelable check — the storeless
+// CheckRequest body, also run (under single-flight) on an artifact miss.
+// Per-request counters and witness observation live in CheckRequest.
+func (c *CryptoChecker) checkLive(ctx context.Context, sources map[string]string, rctx rules.Context, why bool) (*CheckOutcome, error) {
 	reg := c.opts.Metrics
 	pool := c.opts.pool()
 	out := &CheckOutcome{}
@@ -511,7 +594,7 @@ func (c *CryptoChecker) CheckRequest(ctx context.Context, sources map[string]str
 		aopts := c.opts.Analysis
 		aopts.Budget = resilience.NewBudgetContext(ctx, c.opts.BudgetSteps, c.opts.BudgetWall)
 		aopts.Provenance = why
-		res, err := analysis.AnalyzeBudgetedCtx(cctx, analysis.ParseProgramPoolCtx(cctx, sources, reg, pool), aopts)
+		res, err := analysis.AnalyzeBudgetedCtx(cctx, analysis.ParseProgramStoreCtx(cctx, sources, reg, pool, c.opts.Artifacts), aopts)
 		if err != nil {
 			return err
 		}
@@ -523,7 +606,6 @@ func (c *CryptoChecker) CheckRequest(ctx context.Context, sources map[string]str
 			out.Traces = witness.Collect(out.Violations, res, rctx)
 			wsp.SetAttr("traces", fmt.Sprint(len(out.Traces)))
 			wsp.End()
-			witness.Observe(reg, out.Traces)
 		}
 		return nil
 	})
@@ -535,9 +617,6 @@ func (c *CryptoChecker) CheckRequest(ctx context.Context, sources map[string]str
 	if err != nil {
 		return nil, err
 	}
-	reg.Counter("checker.programs").Inc()
-	reg.Counter("checker.rules_evaluated").Add(int64(len(c.Rules)))
-	reg.Counter("checker.violations").Add(int64(len(out.Violations)))
 	return out, nil
 }
 

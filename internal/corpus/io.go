@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 )
@@ -62,9 +63,10 @@ func Save(c *Corpus, dir string) error {
 type LoadOption func(*loadConfig)
 
 type loadConfig struct {
-	strict  bool
-	ledger  *resilience.Ledger
-	metrics *obs.Registry
+	strict    bool
+	ledger    *resilience.Ledger
+	metrics   *obs.Registry
+	artifacts *artifact.Store
 }
 
 // WithLedger records the projects Load skipped (malformed directories,
@@ -123,6 +125,7 @@ func Load(dir string, opts ...LoadOption) (*Corpus, error) {
 			continue
 		}
 		c.Projects = append(c.Projects, p)
+		recordManifest(cfg.artifacts, p)
 		if reg := cfg.metrics; reg != nil {
 			reg.Counter("corpus.projects_loaded").Inc()
 			reg.Counter("corpus.commits_loaded").Add(int64(len(p.Commits)))

@@ -1,0 +1,59 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/artifact"
+)
+
+// WithArtifacts records a per-project manifest into the artifact store as
+// Load appends each project: the manifest is keyed by a fingerprint of the
+// project's entire content (info, snapshot files, commits), so a warm hit
+// on the next load means the project is byte-identical to a previously
+// loaded one — the signal incremental drivers use to tell "corpus grew by
+// two commits" from "corpus rebuilt from scratch" without diffing a file.
+func WithArtifacts(st *artifact.Store) LoadOption {
+	return func(c *loadConfig) { c.artifacts = st }
+}
+
+// projectFingerprint renders the full content identity of one project in a
+// stable order (sorted file paths; commits in load order, which Load sorts
+// by directory name).
+func projectFingerprint(p *Project) artifact.Key {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "project=%s;training=%t;android=%t;minsdk=%d;lprng=%t\n",
+		p.Name, p.Training, p.Info.Android, p.Info.MinSDKVersion, p.Info.HasLPRNG)
+	paths := make([]string, 0, len(p.Files))
+	for path := range p.Files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	parts := make([]string, 0, 1+2*len(paths)+5*len(p.Commits))
+	parts = append(parts, sb.String())
+	for _, path := range paths {
+		parts = append(parts, path, p.Files[path])
+	}
+	for _, cm := range p.Commits {
+		parts = append(parts, cm.ID, cm.File, cm.Kind.String(), cm.Old, cm.New)
+	}
+	return artifact.NewKey(artifact.KindManifest, parts...)
+}
+
+// recordManifest books one loaded project against the store: a hit means
+// an identical project was seen before (this run or — with a disk-backed
+// store — any prior run); a miss writes the manifest for the next one. The
+// manifest payload is informational (name + commit count); the key carries
+// the identity.
+func recordManifest(st *artifact.Store, p *Project) {
+	if st == nil {
+		return
+	}
+	k := projectFingerprint(p)
+	if _, ok := st.GetBytes(artifact.KindManifest, k); ok {
+		return
+	}
+	st.PutBytes(artifact.KindManifest, k,
+		[]byte(fmt.Sprintf("project=%s\ncommits=%d\nfiles=%d\n", p.Name, len(p.Commits), len(p.Files))))
+}

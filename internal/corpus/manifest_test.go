@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/obs"
+)
+
+// manifestCounters loads dir against a fresh disk-backed store and returns
+// the manifest hit/miss counters of that load alone.
+func manifestCounters(t *testing.T, dir, cacheDir string) (hits, misses int) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st := artifact.New(artifact.Config{Dir: cacheDir, Metrics: reg})
+	if _, err := Load(dir, WithArtifacts(st)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	s := obs.TakeSnapshot(reg, false)
+	return int(s.Counters["artifact.manifest.hits"]), int(s.Counters["artifact.manifest.misses"])
+}
+
+// TestManifestDetectsUnchangedProjects pins the incremental-load signal: the
+// first load of a corpus misses every project manifest, a reload over the
+// same artifact directory hits every one, and mutating a single project's
+// snapshot misses exactly that project.
+func TestManifestDetectsUnchangedProjects(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := t.TempDir()
+	c := Generate(Config{Seed: 5, Scale: 0.3, Projects: 6, ExtraProjects: 1})
+	if err := Save(c, dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	n := len(c.Projects)
+
+	hits, misses := manifestCounters(t, dir, cacheDir)
+	if hits != 0 || misses != n {
+		t.Fatalf("first load hits/misses = %d/%d, want 0/%d", hits, misses, n)
+	}
+	hits, misses = manifestCounters(t, dir, cacheDir)
+	if hits != n || misses != 0 {
+		t.Errorf("reload hits/misses = %d/%d, want %d/0", hits, misses, n)
+	}
+
+	// Mutate one project's snapshot on disk: that project's fingerprint
+	// changes, the other n-1 stay warm.
+	p := c.Projects[0]
+	var victim string
+	for path := range p.Files {
+		victim = filepath.Join(dir, p.Name, "snapshot", filepath.FromSlash(path))
+		break
+	}
+	if victim == "" {
+		t.Fatalf("project %s has no snapshot files to mutate", p.Name)
+	}
+	if err := os.WriteFile(victim, []byte("class Mutated {}\n"), 0o644); err != nil {
+		t.Fatalf("mutating snapshot: %v", err)
+	}
+	hits, misses = manifestCounters(t, dir, cacheDir)
+	if hits != n-1 || misses != 1 {
+		t.Errorf("post-mutation hits/misses = %d/%d, want %d/1", hits, misses, n-1)
+	}
+}
+
+// TestManifestNilStoreIsNoOp guards the default path: Load without
+// WithArtifacts behaves exactly as before the manifest existed.
+func TestManifestNilStoreIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	c := Generate(Config{Seed: 5, Scale: 0.3, Projects: 2, ExtraProjects: 0})
+	if err := Save(c, dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Projects) != len(c.Projects) {
+		t.Fatalf("loaded %d projects, want %d", len(got.Projects), len(c.Projects))
+	}
+}

@@ -159,7 +159,11 @@ type Engine struct {
 	labelHits, labelMisses lazyCounter
 	pathHits, pathMisses   lazyCounter
 	evictions              lazyCounter
-	labelCount, pathCount  lazyCounter
+	// resets counts shard resets (one bump per cap-triggered wipe), next to
+	// cache.evictions' per-entry tally: evictions says how much was dropped,
+	// resets says how often the cap was actually hit.
+	resets                lazyCounter
+	labelCount, pathCount lazyCounter
 }
 
 // New returns an engine recording cache telemetry into reg (nil reg
@@ -294,6 +298,7 @@ func (e *Engine) labelLev(la, lb *Label) int {
 	d := textdist.Levenshtein(la.payload, lb.payload)
 	if ev := e.labelDists.put(k, d); ev > 0 {
 		e.evictions.add(e.reg, "cache.evictions", int64(ev))
+		e.resets.add(e.reg, "cache.eviction.resets", 1)
 	}
 	return d
 }
@@ -338,6 +343,7 @@ func (e *Engine) pathDistRefs(a, b PathRef) float64 {
 	}
 	if ev := e.pathDists.put(k, d); ev > 0 {
 		e.evictions.add(e.reg, "cache.evictions", int64(ev))
+		e.resets.add(e.reg, "cache.eviction.resets", 1)
 	}
 	return d
 }

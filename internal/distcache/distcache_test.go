@@ -194,6 +194,16 @@ func TestEviction(t *testing.T) {
 	if s.Counters["cache.evictions"] == 0 {
 		t.Fatalf("no evictions at cap 2 over %d pairs: %v", len(labels)*len(labels), s.Counters)
 	}
+	// Every cap-triggered wipe bumps cache.eviction.resets exactly once, and
+	// each reset drops at least cap entries — so the two counters bound each
+	// other: 0 < resets and cap*resets <= evictions.
+	resets := s.Counters["cache.eviction.resets"]
+	if resets == 0 {
+		t.Fatalf("evictions counted but no eviction resets: %v", s.Counters)
+	}
+	if ev := s.Counters["cache.evictions"]; ev < 2*resets {
+		t.Errorf("cache.evictions = %d < cap(2) * resets(%d) — a reset dropped fewer entries than the cap", ev, resets)
+	}
 }
 
 // TestConcurrentEngine hammers one engine from many goroutines (run under

@@ -1,0 +1,62 @@
+package javaast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+)
+
+// Gob encoding of compilation units, the byte format behind the artifact
+// store's parse artifacts (-cache-dir): a source file's AST is serialized
+// once and re-read on warm runs instead of re-parsed. Every node field is
+// exported and position info lives in plain javatok.Pos values, so gob
+// round-trips the tree exactly; the interface-typed fields (Node, Stmt,
+// Expr) need each concrete node type registered first.
+
+var gobOnce sync.Once
+
+// GobRegister registers every concrete AST node type with encoding/gob.
+// Safe to call any number of times from any goroutine; Encode/Decode call
+// it themselves.
+func GobRegister() {
+	gobOnce.Do(func() {
+		for _, v := range []any{
+			// Declarations.
+			&CompilationUnit{}, &Import{}, &TypeDecl{}, &FieldDecl{},
+			&MethodDecl{}, &Param{}, &TypeRef{}, &CatchClause{}, &SwitchCase{},
+			// Statements.
+			&Block{}, &LocalVarDecl{}, &ExprStmt{}, &IfStmt{}, &WhileStmt{},
+			&DoStmt{}, &ForStmt{}, &ForEachStmt{}, &ReturnStmt{}, &ThrowStmt{},
+			&TryStmt{}, &SwitchStmt{}, &BreakStmt{}, &ContinueStmt{},
+			&SyncStmt{}, &LabeledStmt{}, &AssertStmt{}, &EmptyStmt{},
+			// Expressions.
+			&Literal{}, &Name{}, &FieldAccess{}, &Call{}, &New{}, &NewArray{},
+			&ArrayInit{}, &Index{}, &Binary{}, &Unary{}, &Assign{}, &Cond{},
+			&Cast{}, &InstanceOf{}, &This{}, &Super{}, &ClassLit{}, &Lambda{},
+			&MethodRef{},
+		} {
+			gob.Register(v)
+		}
+	})
+}
+
+// GobEncode serializes a compilation unit.
+func GobEncode(unit *CompilationUnit) ([]byte, error) {
+	GobRegister()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(unit); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode deserializes a compilation unit previously encoded with
+// GobEncode.
+func GobDecode(b []byte) (*CompilationUnit, error) {
+	GobRegister()
+	var unit *CompilationUnit
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&unit); err != nil {
+		return nil, err
+	}
+	return unit, nil
+}

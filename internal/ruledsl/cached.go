@@ -1,0 +1,36 @@
+package ruledsl
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/rules"
+)
+
+// ParseFileCached is ParseFile through an artifact store: a rule file's
+// compiled set is cached by content under KindRules, so re-checking with an
+// unchanged -rulefile skips the DSL compiler. Compiled rules hold predicate
+// closures, which no byte encoding can round-trip, so rule-set artifacts
+// live in the store's object tier only (per-process); concurrent parses of
+// the same content share one compile via per-key single-flight. Errors are
+// never cached — a bad file re-parses (and re-reports) every time. A nil
+// store is exactly ParseFile.
+func ParseFileCached(content string, st *artifact.Store) ([]*rules.Rule, error) {
+	if st == nil {
+		return ParseFile(content)
+	}
+	k := artifact.NewKey(artifact.KindRules, content)
+	v, err := st.Do(artifact.KindRules, k, func() (any, error) {
+		if v, ok := st.Get(artifact.KindRules, k, nil); ok {
+			return v, nil
+		}
+		rs, err := ParseFile(content)
+		if err != nil {
+			return nil, err
+		}
+		st.Put(artifact.KindRules, k, rs, nil)
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*rules.Rule), nil
+}

@@ -85,7 +85,10 @@ func TestChaosPanicsIsolatedFromConcurrentTraffic(t *testing.T) {
 	})
 	defer resilience.ClearFaultInjector()
 
-	s := newTestServer(t, Options{MaxConcurrent: 4, DegradeThreshold: -1})
+	// DisableArtifacts: the test's contract is one live analysis per request
+	// (the injector panics every other Guard("check")); the default store
+	// would coalesce the 20 identical bodies into one flight.
+	s := newTestServer(t, Options{MaxConcurrent: 4, DegradeThreshold: -1, DisableArtifacts: true})
 	body := checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}})
 
 	const n = 20
@@ -331,7 +334,10 @@ func TestChaosAnalyzeBatchFaultContainment(t *testing.T) {
 	})
 	defer resilience.ClearFaultInjector()
 
-	s := newTestServer(t, Options{})
+	// DisableArtifacts: the three changes are content-identical, and the
+	// default store would serve c2 from c1's artifact — the injected panic
+	// only fires on a live analysis of the second change.
+	s := newTestServer(t, Options{DisableArtifacts: true})
 	body, _ := json.Marshal(AnalyzeRequest{Changes: []ChangeSpec{
 		{Old: ecbSource, New: gcmSource, Project: "p", Commit: "c1", File: "F.java"},
 		{Old: ecbSource, New: gcmSource, Project: "p", Commit: "c2", File: "F.java"},

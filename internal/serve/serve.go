@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/trace"
@@ -84,6 +85,19 @@ type Options struct {
 	// (zero values take the trace.StoreOptions defaults). Only consulted
 	// when Tracer is set.
 	TraceStore trace.StoreOptions
+	// Artifacts is the server's process-lifetime artifact store: repeated
+	// /v1/check and /v1/analyze requests over identical snippets resolve
+	// from cache, and concurrent identical requests share one analysis
+	// (per-key single-flight). Nil makes New build a private in-memory
+	// store — server-side caching is on by default because responses are
+	// byte-identical either way; pass a disk-backed store (-cache-dir) to
+	// persist artifacts across restarts.
+	Artifacts *artifact.Store
+	// DisableArtifacts turns server-side artifact caching off entirely
+	// (every request analyzes live). Chaos/fault-injection harnesses that
+	// count analysis executions per request need this; production callers
+	// should not.
+	DisableArtifacts bool
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +158,14 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Checker.Metrics
+	if opts.DisableArtifacts {
+		opts.Artifacts = nil
+	} else if opts.Artifacts == nil {
+		opts.Artifacts = artifact.New(artifact.Config{Metrics: reg})
+	}
+	// The checker owns the cache lookups; every request-scoped checker and
+	// DiffCode the handlers build inherits this store.
+	opts.Checker.Artifacts = opts.Artifacts
 	s := &Server{
 		opts:   opts,
 		reg:    reg,

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve bench-trace bench-incr clean
+.PHONY: all build vet test race serve bench bench-short bench-baseline bench-compare bench-cache bench-why bench-serve bench-trace bench-incr bench-summary clean
 
 all: build vet test
 
@@ -74,5 +74,12 @@ bench-trace:
 bench-incr:
 	BENCH_INCR_OUT=$(CURDIR)/BENCH_incr.json $(GO) test -run TestWriteBenchIncr -count=1 -v .
 
+# Summary-memoization snapshot: the abstract interpreter over a helper-heavy
+# program with per-method summaries on vs off, into BENCH_summary.json (same
+# schema). Acceptance: speedup_milli >= 3000 (>=3x) and hits > misses on the
+# memoized run, asserted by the test itself.
+bench-summary:
+	BENCH_SUMMARY_OUT=$(CURDIR)/BENCH_summary.json $(GO) test -run TestWriteBenchSummary -count=1 -v .
+
 clean:
-	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json BENCH_trace.json BENCH_incr.json
+	rm -f BENCH_baseline.json BENCH_parallel.json BENCH_cache.json BENCH_why.json BENCH_serve.json BENCH_trace.json BENCH_incr.json BENCH_summary.json

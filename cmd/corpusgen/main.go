@@ -44,9 +44,10 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		verbose   = flag.Bool("v", false, "print a stage-by-stage telemetry summary to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
-		// -why, -dist-cache, and -cache-dir are accepted for CLI parity;
-		// generation runs no analysis, clustering, or checking, so there is
-		// nothing to cache — scripts can still pass one uniform flag set.
+		// -why, -dist-cache, -cache-dir, -summaries, and -max-inline are
+		// accepted for CLI parity; generation runs no analysis, clustering,
+		// or checking, so there is nothing to cache, memoize, or inline —
+		// scripts can still pass one uniform flag set.
 		std = cliutil.StandardFlags("corpusgen")
 	)
 	std.Parse()

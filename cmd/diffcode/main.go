@@ -72,8 +72,10 @@ func main() {
 		Metrics:          run.Reg,
 		Workers:          std.Workers(),
 		DisableDistCache: !std.DistCache(),
+		DisableSummaries: !std.Summaries(),
 		Artifacts:        std.Artifacts(run.Reg),
 	}
+	opts.Analysis.MaxInline = std.MaxInline()
 	classes := cryptoapi.TargetClasses
 	if *class != "" {
 		if !cryptoapi.IsTarget(*class) {

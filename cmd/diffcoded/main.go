@@ -71,12 +71,15 @@ func main() {
 	if std.Trace().On() {
 		tracer = trace.New()
 	}
+	copts := core.Options{
+		BudgetSteps:      *budget,
+		Workers:          std.Workers(),
+		Metrics:          reg,
+		DisableSummaries: !std.Summaries(),
+	}
+	copts.Analysis.MaxInline = std.MaxInline()
 	srv := serve.New(serve.Options{
-		Checker: core.Options{
-			BudgetSteps: *budget,
-			Workers:     std.Workers(),
-			Metrics:     reg,
-		},
+		Checker: copts,
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
 		RequestTimeout: *timeout,

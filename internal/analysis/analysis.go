@@ -12,13 +12,18 @@ package analysis
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/absdom"
+	"repro/internal/artifact"
 	"repro/internal/cryptoapi"
 	"repro/internal/javaast"
 	"repro/internal/javaparser"
@@ -26,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
+	"repro/internal/summary"
 	"repro/internal/trace"
 )
 
@@ -51,6 +57,16 @@ type Options struct {
 	// provenance and its result is bit-identical to a provenance-unaware
 	// interpreter.
 	Provenance bool
+	// Summaries, when non-nil, enables memoized per-method summaries
+	// (DESIGN.md §14): inlineCall consults the table before executing a
+	// callee, replaying a recorded effect triple on a hit, and the MaxInline
+	// depth cliff is replaced by cycle detection (recursive SCCs widen to
+	// Top). The table may be shared across analyses — a mining run shares
+	// one table across all changes, a server across all requests. Nil keeps
+	// the exact legacy re-inlining interpreter. With Provenance on, lookups
+	// are skipped (summaries carry no provenance) but the depth lift still
+	// applies, so -why and plain runs agree on the violation set.
+	Summaries *summary.Table
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +88,30 @@ type File struct {
 // Program is a (possibly partial) Java program: a set of parsed files.
 type Program struct {
 	Files []File
+	// SourceFP fingerprints the program's full source text (sorted file
+	// names and contents). It keys memoized method summaries: because the
+	// whole program's identity is part of every summary key, a replayed
+	// summary is by construction a log of a deterministic execution of
+	// byte-identical input. Empty (a Program assembled by hand) disables
+	// summary memoization for that program.
+	SourceFP string
+}
+
+// sourceFingerprint hashes the sorted (name, content) pairs of a program's
+// sources with length-prefixing (the same framing artifact keys use).
+func sourceFingerprint(names []string, sources map[string]string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	w := func(s string) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		io.WriteString(h, s)
+	}
+	for _, n := range names {
+		w(n)
+		w(sources[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // ParseProgram parses named sources into a Program, ignoring recoverable
@@ -118,7 +158,7 @@ func ParseProgramPoolCtx(ctx context.Context, sources map[string]string, reg *ob
 	pctx, psp := trace.Start(ctx, "parse")
 	psp.SetAttr("files", strconv.Itoa(len(names)))
 	defer psp.End()
-	p := &Program{Files: make([]File, len(names))}
+	p := &Program{Files: make([]File, len(names)), SourceFP: sourceFingerprint(names, sources)}
 	errCounts := make([]int64, len(names))
 	var bytes, parseErrs int64
 	// Detach: the fan-out keeps the pre-trace contract that parsing is never
@@ -284,17 +324,36 @@ type analyzer struct {
 	sites  map[siteKey]*absdom.AObj
 	nextID int
 
-	events     map[*absdom.AObj][]Event
-	eventKeys  map[*absdom.AObj]map[string]bool
-	objs       []*absdom.AObj
-	calledName map[string]bool
-	executed   map[*javaast.MethodDecl]bool
+	events    map[*absdom.AObj][]Event
+	eventKeys map[*absdom.AObj]map[string]bool
+	objs      []*absdom.AObj
+	// calledArity records every invoked method name together with the call
+	// arities seen — the coarse reverse call graph behind entry detection.
+	// Keying on arity as well as name keeps an uncalled overload (a 2-arg
+	// variant of a helper only ever called with 1 argument) an entry method.
+	calledArity map[string]map[int]bool
+	executed    map[*javaast.MethodDecl]bool
 
 	inlineStack []*javaast.MethodDecl
 	constCache  map[*javaast.FieldDecl]absdom.Value
 	constBusy   map[*javaast.FieldDecl]bool
 	curFile     int
 	budget      *resilience.Budget
+
+	// Summary machinery (summary.go). sums is the shared table (nil =
+	// summaries off, the exact legacy interpreter); memoOK gates lookups
+	// (off under provenance or for fingerprint-less programs, where only
+	// the depth lift applies). siteOf is the reverse of sites — it renders
+	// abstract objects portably. recs is the stack of in-flight recordings
+	// that the allocObj/record/markExecuted tee points feed; localSums
+	// caches summaries already rebound into this analyzer's object table.
+	sums      *summary.Table
+	memoOK    bool
+	sumOptsFP string
+	siteOf    map[*absdom.AObj]siteKey
+	recs      []*recActive
+	localSums map[artifact.Key]*resolvedSum
+	methodRef map[*javaast.MethodDecl]summary.PMethod
 	// provOn enables flow-provenance tracking (Options.Provenance). Every
 	// attach site in the hot loop is gated on this one bool, so the
 	// tracking-off interpreter pays a single predictable branch per site.
@@ -324,6 +383,18 @@ func (an *analyzer) step() {
 	}
 }
 
+// stepN bulk-charges n steps — a summary replay charging the recorded cost
+// of the execution it stands in for.
+func (an *analyzer) stepN(n int64) {
+	an.steps += n
+	if an.budget == nil {
+		return
+	}
+	if err := an.budget.StepN(n); err != nil {
+		panic(budgetStop{err: err})
+	}
+}
+
 // flushMetrics records the run's interpreter telemetry once, at the end of
 // AnalyzeBudgeted (normal or budget-exhausted exit).
 func (an *analyzer) flushMetrics(err error) {
@@ -341,27 +412,43 @@ func (an *analyzer) flushMetrics(err error) {
 
 func newAnalyzer(prog *Program, opts Options) *analyzer {
 	an := &analyzer{
-		prog:       prog,
-		opts:       opts,
-		classes:    map[string]*classInfo{},
-		sites:      map[siteKey]*absdom.AObj{},
-		events:     map[*absdom.AObj][]Event{},
-		eventKeys:  map[*absdom.AObj]map[string]bool{},
-		calledName: map[string]bool{},
-		executed:   map[*javaast.MethodDecl]bool{},
-		budget:     opts.Budget,
-		provOn:     opts.Provenance,
+		prog:        prog,
+		opts:        opts,
+		classes:     map[string]*classInfo{},
+		sites:       map[siteKey]*absdom.AObj{},
+		events:      map[*absdom.AObj][]Event{},
+		eventKeys:   map[*absdom.AObj]map[string]bool{},
+		calledArity: map[string]map[int]bool{},
+		executed:    map[*javaast.MethodDecl]bool{},
+		budget:      opts.Budget,
+		provOn:      opts.Provenance,
+		sums:        opts.Summaries,
+		siteOf:      map[*absdom.AObj]siteKey{},
+	}
+	// Memoization needs provenance off (entries carry none) and a program
+	// fingerprint (the key's exactness anchor); otherwise only the depth
+	// lift of the summaries mode applies.
+	an.memoOK = an.sums != nil && !an.provOn && prog.SourceFP != ""
+	if an.memoOK {
+		an.localSums = map[artifact.Key]*resolvedSum{}
+		an.sumOptsFP = fmt.Sprintf("ms=%d", opts.MaxStates)
 	}
 	for fi, f := range prog.Files {
 		for _, t := range f.Unit.Types {
 			an.indexClass(t, fi)
 		}
 	}
-	// Build the coarse reverse call graph: record every invoked method name.
+	// Build the coarse reverse call graph: record every invoked method name
+	// with the arity of each call.
 	for _, f := range prog.Files {
 		javaast.Walk(f.Unit, func(n javaast.Node) bool {
 			if c, ok := n.(*javaast.Call); ok {
-				an.calledName[c.Name] = true
+				ar := an.calledArity[c.Name]
+				if ar == nil {
+					ar = map[int]bool{}
+					an.calledArity[c.Name] = ar
+				}
+				ar[len(c.Args)] = true
 			}
 			return true
 		})
@@ -396,19 +483,37 @@ func (an *analyzer) indexClass(t *javaast.TypeDecl, file int) {
 // on first use (per-allocation-site abstraction: one AObj per site across
 // all executions and forks).
 func (an *analyzer) allocObj(file int, pos javaast.Node, typ string) *absdom.AObj {
-	key := siteKey{file: file, offset: pos.Pos().Offset}
+	return an.allocObjAt(file, pos.Pos(), typ)
+}
+
+// allocObjAt is allocObj on a raw position — the form summary replays use.
+// Object creation tees into in-flight recordings as a first-touch
+// allocation, so a recorded summary replays its callee's allocations in the
+// order a live execution would have made them.
+func (an *analyzer) allocObjAt(file int, pos javatok.Pos, typ string) *absdom.AObj {
+	key := siteKey{file: file, offset: pos.Offset}
 	if o, ok := an.sites[key]; ok {
 		return o
 	}
 	an.nextID++
-	o := &absdom.AObj{ID: an.nextID, Type: typ, Site: pos.Pos()}
+	o := &absdom.AObj{ID: an.nextID, Type: typ, Site: pos}
 	an.sites[key] = o
+	an.siteOf[o] = key
 	an.objs = append(an.objs, o)
+	for _, r := range an.recs {
+		r.allocs = append(r.allocs, o)
+	}
 	return o
 }
 
-// record appends an event to AUses(o), deduplicating by event key.
+// record appends an event to AUses(o), deduplicating by event key. The
+// pre-dedup attempt tees into in-flight recordings: an attempt that is a
+// duplicate here can be the first observation in a different replay
+// context, so summaries log attempts, not outcomes.
 func (an *analyzer) record(o *absdom.AObj, ev Event) {
+	for _, r := range an.recs {
+		r.events = append(r.events, recEvent{obj: o, ev: ev})
+	}
 	keys := an.eventKeys[o]
 	if keys == nil {
 		keys = map[string]bool{}
@@ -446,20 +551,35 @@ func orderedMethods(ci *classInfo) []*javaast.MethodDecl {
 	return ci.decl.Methods
 }
 
-// entryMethods returns the methods of ci that no code in the program calls
-// (by name), plus main. These approximate the paper's "entry methods that
-// can lead to executions that call method m".
+// entryMethods returns the methods of ci that no call in the program
+// resolves to, plus main. These approximate the paper's "entry methods that
+// can lead to executions that call method m". A method counts as called
+// only if some observed (name, arity) pair resolves to it under the
+// analyzer's own overload resolution (exact arity, else first candidate) —
+// name-only matching would silently demote an uncalled 2-arg overload of a
+// called 1-arg helper.
 func (an *analyzer) entryMethods(ci *classInfo) []*javaast.MethodDecl {
 	var out []*javaast.MethodDecl
 	for _, m := range ci.decl.Methods {
 		if m.Body == nil {
 			continue
 		}
-		if m.Name == "main" || m.IsConstructor || !an.calledName[m.Name] {
+		if m.Name == "main" || m.IsConstructor || !an.isCalled(ci, m) {
 			out = append(out, m)
 		}
 	}
 	return out
+}
+
+// isCalled reports whether any observed call (by name and arity) would
+// resolve to m within ci, mirroring pickMethod's resolution.
+func (an *analyzer) isCalled(ci *classInfo, m *javaast.MethodDecl) bool {
+	for arity := range an.calledArity[m.Name] {
+		if an.pickMethod(ci, m.Name, arity) == m {
+			return true
+		}
+	}
+	return false
 }
 
 // runEntry performs a forward abstract execution of one entry method over a
@@ -548,7 +668,7 @@ func (an *analyzer) execMethod(ci *classInfo, m *javaast.MethodDecl, args []absd
 	if m.Body == nil {
 		return returnTop(m)
 	}
-	an.executed[m] = true
+	an.markExecuted(m)
 	fr := &frame{an: an, ci: ci, varTypes: map[string]*javaast.TypeRef{}}
 	for i, p := range m.Params {
 		var v absdom.Value

@@ -501,16 +501,41 @@ func (an *analyzer) pickMethod(ci *classInfo, name string, arity int) *javaast.M
 }
 
 // inlineCall executes a callee in the caller's state with the callee's own
-// variable scope, guarded against recursion and bounded by MaxInline.
+// variable scope. Without summaries (Options.Summaries nil) this is the
+// exact legacy interpreter: recursion-guarded and bounded by MaxInline.
+// With summaries on, the depth cliff is lifted — reach is bounded by cycle
+// detection (recursive SCCs widen to Top, counted as summary.cycles) plus a
+// generous backstop — and, when memoization applies (provenance off,
+// fingerprinted program), the summary table is consulted before executing.
 func (an *analyzer) inlineCall(ci *classInfo, m *javaast.MethodDecl, args []absdom.Value, st *absdom.State, depth int) absdom.Value {
-	if depth >= an.opts.MaxInline {
-		return returnTop(m)
+	if an.sums == nil {
+		if depth >= an.opts.MaxInline {
+			return returnTop(m)
+		}
+		for _, on := range an.inlineStack {
+			if on == m {
+				return returnTop(m)
+			}
+		}
+		return an.inlineLive(ci, m, args, st, depth)
 	}
-	for _, on := range an.inlineStack {
+	for i, on := range an.inlineStack {
 		if on == m {
+			an.noteCycle(i, m)
 			return returnTop(m)
 		}
 	}
+	if len(an.inlineStack) >= maxLiftedInline {
+		return returnTop(m)
+	}
+	if !an.memoOK {
+		return an.inlineLive(ci, m, args, st, depth)
+	}
+	return an.inlineMemo(ci, m, args, st, depth)
+}
+
+// inlineLive pushes the callee frame and executes its body in st.
+func (an *analyzer) inlineLive(ci *classInfo, m *javaast.MethodDecl, args []absdom.Value, st *absdom.State, depth int) absdom.Value {
 	an.inlineStack = append(an.inlineStack, m)
 	savedFile := an.curFile
 	an.curFile = ci.file

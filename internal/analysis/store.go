@@ -73,7 +73,7 @@ func ParseProgramStoreCtx(ctx context.Context, sources map[string]string, reg *o
 	pctx, psp := trace.Start(ctx, "parse")
 	psp.SetAttr("files", strconv.Itoa(len(names)))
 	defer psp.End()
-	p := &Program{Files: make([]File, len(names))}
+	p := &Program{Files: make([]File, len(names)), SourceFP: sourceFingerprint(names, sources)}
 	errCounts := make([]int64, len(names))
 	var bytes, parseErrs int64
 	pool.ForEachCtx(trace.Detach(pctx), "file", len(names), func(fctx context.Context, i int) {

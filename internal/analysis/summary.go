@@ -1,0 +1,567 @@
+package analysis
+
+// Summary-based interprocedural analysis (DESIGN.md §14). With a summary
+// table attached (Options.Summaries), inlineCall consults memoized
+// per-method summaries before executing a callee. A summary captures one
+// callee execution as a portable effect triple — return abstraction,
+// field/heap post-state, ordered crypto-API event attempts — keyed by
+// everything the execution could observe: the whole-program source
+// fingerprint, the callee's identity, the abstract arguments, the
+// field/heap context, and the execution-shaping options (MaxStates). The
+// caller's locals are deliberately outside the key: branch forks that
+// differ only in locals share one summary, which is where the re-inlining
+// tax is paid today.
+//
+// Exactness argument: the key pins the program bytes and the full abstract
+// input, and the interpreter is deterministic, so a recorded entry is a
+// faithful log of exactly the execution a live call would perform. Replay
+// re-runs the log through the same primitives the live interpreter uses
+// (allocObjAt, record, markExecuted, stepN), so analyzer-global effects —
+// allocation order, event attempt order, executed marks, step cost — land
+// as if the callee had run, and nested recordings observe replays exactly
+// as they observe live execution. The only accepted divergence is step
+// accounting around the static-field constant cache: a replay charges the
+// recorded cost while a live re-call would hit the warm cache, which can
+// shift budget-exhaustion boundaries (never results) under -budget.
+//
+// Cycle policy: with summaries on, the MaxInline depth cliff is replaced by
+// cycle detection — a recursive call (direct or through a SCC) widens to
+// the callee's ⊤ return, which is a post-fixpoint of the recursive
+// equation, so convergence is immediate. A recording whose execution hit
+// the guard against a method *outside* its own frame records that method as
+// an OuterGuard: the entry is replayed only under callers that still have
+// it on the stack (and, dually, never while any method the recording
+// executed as a fresh frame is on the stack).
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/absdom"
+	"repro/internal/artifact"
+	"repro/internal/javaast"
+	"repro/internal/summary"
+)
+
+// maxLiftedInline is the backstop inlining bound with summaries on. Cycle
+// detection already bounds the stack by the number of distinct methods;
+// this only guards degenerate programs with thousands of distinct nested
+// calls (the step budget remains the real safety valve).
+const maxLiftedInline = 512
+
+// recEvent is one teed pre-dedup event attempt.
+type recEvent struct {
+	obj *absdom.AObj
+	ev  Event
+}
+
+// recActive is an in-flight summary recording. The analyzer's tee points
+// (allocObjAt, record, markExecuted, noteCycle, the steps counter) feed
+// every active recording, so nested recordings and nested replays compose
+// without special cases.
+type recActive struct {
+	startIdx   int // inline stack depth when the recording began
+	startSteps int64
+	allocs     []*absdom.AObj
+	events     []recEvent
+	executed   []*javaast.MethodDecl
+	executedIn map[*javaast.MethodDecl]bool
+	outer      []*javaast.MethodDecl
+	outerIn    map[*javaast.MethodDecl]bool
+}
+
+// resolvedSum is a summary entry rebound against this analyzer: methods and
+// pre-existing objects resolved eagerly (side-effect free, so a validity
+// miss costs nothing), values and events materialized on first apply.
+type resolvedSum struct {
+	entry   *summary.Entry
+	execMs  []*javaast.MethodDecl
+	outer   []*javaast.MethodDecl
+	refObjs []*absdom.AObj // Sites[NAlloc:], resolved
+
+	materialized bool
+	objs         []*absdom.AObj
+	events       []recEvent
+	fields       map[string]absdom.Value
+	heap         map[*absdom.AObj]map[string]absdom.Value
+	ret          absdom.Value
+}
+
+// markExecuted marks a method executed and tees the mark into in-flight
+// recordings (replays must reproduce it — the run() sweep phase skips
+// executed methods).
+func (an *analyzer) markExecuted(m *javaast.MethodDecl) {
+	an.executed[m] = true
+	for _, r := range an.recs {
+		if !r.executedIn[m] {
+			r.executedIn[m] = true
+			r.executed = append(r.executed, m)
+		}
+	}
+}
+
+// noteCycle records that a call to m hit the recursion guard: summary.cycles
+// telemetry, plus an OuterGuard mark on every recording that began after m
+// was pushed (the widening depended on stack context outside that frame).
+func (an *analyzer) noteCycle(stackIdx int, m *javaast.MethodDecl) {
+	an.sums.Cycle()
+	for _, r := range an.recs {
+		if stackIdx < r.startIdx && !r.outerIn[m] {
+			r.outerIn[m] = true
+			r.outer = append(r.outer, m)
+		}
+	}
+}
+
+// inlineMemo is inlineCall's summaries path: consult the table, replay on a
+// valid hit, otherwise execute live under a fresh recording and memoize the
+// result.
+func (an *analyzer) inlineMemo(ci *classInfo, m *javaast.MethodDecl, args []absdom.Value, st *absdom.State, depth int) absdom.Value {
+	key, ok := an.summaryKey(ci, m, args, st)
+	if !ok {
+		return an.inlineLive(ci, m, args, st, depth)
+	}
+	if rs := an.lookupSummary(key); rs != nil && an.summaryValid(rs) {
+		an.sums.Hit()
+		return an.applySummary(rs, st)
+	}
+	an.sums.Miss()
+	rec := &recActive{
+		startIdx:   len(an.inlineStack),
+		startSteps: an.steps,
+		executedIn: map[*javaast.MethodDecl]bool{},
+		outerIn:    map[*javaast.MethodDecl]bool{},
+	}
+	an.recs = append(an.recs, rec)
+	ret := an.inlineLive(ci, m, args, st, depth)
+	// On a budget panic the unwind abandons the partial recording with the
+	// analyzer — entries are only ever inserted for completed executions.
+	an.recs = an.recs[:len(an.recs)-1]
+	an.finishRecording(rec, key, ret, st)
+	return ret
+}
+
+// summaryKey renders the memoization key for calling m with args under st's
+// field/heap context. ok is false when the call cannot be keyed portably
+// (an object without a site, a method not reachable through the class
+// index) — such calls fall back to live execution.
+func (an *analyzer) summaryKey(ci *classInfo, m *javaast.MethodDecl, args []absdom.Value, st *absdom.State) (artifact.Key, bool) {
+	pm, ok := an.methodPRef(m)
+	if !ok {
+		return artifact.Key{}, false
+	}
+	var sb strings.Builder
+	for _, a := range args {
+		if !an.renderValue(&sb, a) {
+			return artifact.Key{}, false
+		}
+		sb.WriteByte(0x1e)
+	}
+	argsFP := sb.String()
+	sb.Reset()
+
+	names := make([]string, 0, len(st.Fields))
+	for k := range st.Fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		sb.WriteString(k)
+		sb.WriteByte(0x1f)
+		if !an.renderValue(&sb, st.Fields[k]) {
+			return artifact.Key{}, false
+		}
+		sb.WriteByte(0x1e)
+	}
+	sb.WriteByte(0x1d)
+	type heapEnt struct {
+		sk siteKey
+		o  *absdom.AObj
+	}
+	hs := make([]heapEnt, 0, len(st.Heap))
+	for o := range st.Heap {
+		sk, ok := an.siteOf[o]
+		if !ok {
+			return artifact.Key{}, false
+		}
+		hs = append(hs, heapEnt{sk, o})
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].sk.file != hs[j].sk.file {
+			return hs[i].sk.file < hs[j].sk.file
+		}
+		return hs[i].sk.offset < hs[j].sk.offset
+	})
+	for _, h := range hs {
+		fmt.Fprintf(&sb, "@%d:%d", h.sk.file, h.sk.offset)
+		sb.WriteByte(0x1f)
+		fields := st.Heap[h.o]
+		fnames := make([]string, 0, len(fields))
+		for k := range fields {
+			fnames = append(fnames, k)
+		}
+		sort.Strings(fnames)
+		for _, k := range fnames {
+			sb.WriteString(k)
+			sb.WriteByte(0x1f)
+			if !an.renderValue(&sb, fields[k]) {
+				return artifact.Key{}, false
+			}
+			sb.WriteByte(0x1e)
+		}
+		sb.WriteByte(0x1d)
+	}
+	ctxFP := sb.String()
+	return artifact.NewKey(artifact.KindSummary,
+		an.prog.SourceFP, pm.Class, strconv.Itoa(pm.Index), argsFP, ctxFP, an.sumOptsFP), true
+}
+
+// renderValue appends a value's unambiguous fingerprint form (payloads are
+// length-prefixed; objects render as their allocation site). Provenance is
+// excluded by design — it is observation-only.
+func (an *analyzer) renderValue(sb *strings.Builder, v absdom.Value) bool {
+	fmt.Fprintf(sb, "%d\x1f%d:%s\x1f%s", int(v.Kind), len(v.Payload), v.Payload, v.Type)
+	if v.Kind == absdom.KObj {
+		sk, ok := an.siteOf[v.Obj]
+		if !ok {
+			return false
+		}
+		fmt.Fprintf(sb, "\x1f@%d:%d", sk.file, sk.offset)
+	}
+	return true
+}
+
+// methodPRef names a method portably: (declaring class name, index in its
+// declaration list), built lazily from the class index.
+func (an *analyzer) methodPRef(m *javaast.MethodDecl) (summary.PMethod, bool) {
+	if an.methodRef == nil {
+		an.methodRef = map[*javaast.MethodDecl]summary.PMethod{}
+		for name, ci := range an.classes {
+			for i, md := range ci.decl.Methods {
+				an.methodRef[md] = summary.PMethod{Class: name, Index: i}
+			}
+		}
+	}
+	pm, ok := an.methodRef[m]
+	return pm, ok
+}
+
+func (an *analyzer) resolveMethod(pm summary.PMethod) *javaast.MethodDecl {
+	ci := an.classes[pm.Class]
+	if ci == nil || pm.Index < 0 || pm.Index >= len(ci.decl.Methods) {
+		return nil
+	}
+	return ci.decl.Methods[pm.Index]
+}
+
+// lookupSummary fetches and rebinds the entry for key, caching the resolved
+// form per analyzer. Resolution is side-effect free; an entry whose
+// referenced sites or methods don't resolve here reads as a miss.
+func (an *analyzer) lookupSummary(key artifact.Key) *resolvedSum {
+	if rs, ok := an.localSums[key]; ok {
+		return rs
+	}
+	e := an.sums.Lookup(key)
+	if e == nil {
+		return nil
+	}
+	rs := an.resolveSummary(e)
+	if rs == nil {
+		return nil
+	}
+	an.localSums[key] = rs
+	an.sums.Instantiation()
+	return rs
+}
+
+// resolveSummary rebinds an entry's method and pre-existing-object
+// references against this analyzer and validates the entry's internal
+// indices (a malformed disk artifact reads as a miss, never a panic).
+func (an *analyzer) resolveSummary(e *summary.Entry) *resolvedSum {
+	if e.NAlloc < 0 || e.NAlloc > len(e.Sites) {
+		return nil
+	}
+	okIdx := func(i int) bool { return i >= 1 && i <= len(e.Sites) }
+	okVal := func(pv summary.PValue) bool { return pv.Obj == 0 || okIdx(pv.Obj) }
+	for _, pe := range e.Events {
+		if !okIdx(pe.Obj) {
+			return nil
+		}
+		for _, pa := range pe.Args {
+			if !okVal(pa) {
+				return nil
+			}
+		}
+	}
+	for _, pv := range e.Fields {
+		if !okVal(pv) {
+			return nil
+		}
+	}
+	for _, h := range e.Heap {
+		if !okIdx(h.Obj) {
+			return nil
+		}
+		for _, pv := range h.Fields {
+			if !okVal(pv) {
+				return nil
+			}
+		}
+	}
+	if e.Ret != nil && !okVal(*e.Ret) {
+		return nil
+	}
+	rs := &resolvedSum{entry: e}
+	for _, pm := range e.Executed {
+		m := an.resolveMethod(pm)
+		if m == nil {
+			return nil
+		}
+		rs.execMs = append(rs.execMs, m)
+	}
+	for _, pm := range e.OuterGuard {
+		m := an.resolveMethod(pm)
+		if m == nil {
+			return nil
+		}
+		rs.outer = append(rs.outer, m)
+	}
+	for _, s := range e.Sites[e.NAlloc:] {
+		o := an.sites[siteKey{file: s.File, offset: s.Pos.Offset}]
+		if o == nil {
+			return nil
+		}
+		rs.refObjs = append(rs.refObjs, o)
+	}
+	return rs
+}
+
+func (an *analyzer) onStack(m *javaast.MethodDecl) bool {
+	for _, on := range an.inlineStack {
+		if on == m {
+			return true
+		}
+	}
+	return false
+}
+
+// summaryValid checks the entry against the current inline stack: every
+// OuterGuard method must still be on it (the recorded widening re-applies),
+// and no method the recording executed as a fresh frame may be on it (live
+// execution would widen where the recording recursed).
+func (an *analyzer) summaryValid(rs *resolvedSum) bool {
+	for _, m := range rs.outer {
+		if !an.onStack(m) {
+			return false
+		}
+	}
+	for _, m := range rs.execMs {
+		if an.onStack(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// applySummary replays a resolved entry: bulk-charge the recorded step
+// cost, re-run the allocation and event-attempt logs through the live
+// primitives (which tee into any outer recording), mark executed methods,
+// install the recorded field/heap post-state, and return the recorded
+// return abstraction.
+func (an *analyzer) applySummary(rs *resolvedSum, st *absdom.State) absdom.Value {
+	e := rs.entry
+	an.stepN(e.Steps)
+	if !rs.materialized {
+		an.materializeSummary(rs)
+	} else {
+		for i := 0; i < e.NAlloc; i++ {
+			s := e.Sites[i]
+			an.allocObjAt(s.File, s.Pos, s.Type)
+		}
+	}
+	for _, re := range rs.events {
+		an.record(re.obj, re.ev)
+	}
+	for _, m := range rs.execMs {
+		an.markExecuted(m)
+	}
+	st.Fields = cloneFieldMap(rs.fields)
+	st.Heap = cloneHeapMap(rs.heap)
+	return rs.ret
+}
+
+// materializeSummary fills the resolved entry's value templates, allocating
+// the recorded first-touch sites in order (idempotent on later applies).
+func (an *analyzer) materializeSummary(rs *resolvedSum) {
+	e := rs.entry
+	rs.objs = make([]*absdom.AObj, len(e.Sites))
+	for i := 0; i < e.NAlloc; i++ {
+		s := e.Sites[i]
+		rs.objs[i] = an.allocObjAt(s.File, s.Pos, s.Type)
+	}
+	copy(rs.objs[e.NAlloc:], rs.refObjs)
+	for _, pe := range e.Events {
+		ev := Event{Sig: pe.Sig, File: pe.File, Pos: pe.Pos}
+		if len(pe.Args) > 0 {
+			ev.Args = make([]absdom.Value, len(pe.Args))
+			for i, pa := range pe.Args {
+				ev.Args[i] = rs.value(pa)
+			}
+		}
+		rs.events = append(rs.events, recEvent{obj: rs.objs[pe.Obj-1], ev: ev})
+	}
+	if len(e.Fields) > 0 {
+		rs.fields = make(map[string]absdom.Value, len(e.Fields))
+		for k, pv := range e.Fields {
+			rs.fields[k] = rs.value(pv)
+		}
+	}
+	if len(e.Heap) > 0 {
+		rs.heap = make(map[*absdom.AObj]map[string]absdom.Value, len(e.Heap))
+		for _, h := range e.Heap {
+			fm := make(map[string]absdom.Value, len(h.Fields))
+			for k, pv := range h.Fields {
+				fm[k] = rs.value(pv)
+			}
+			rs.heap[rs.objs[h.Obj-1]] = fm
+		}
+	}
+	if e.Ret != nil {
+		rs.ret = rs.value(*e.Ret)
+	}
+	rs.materialized = true
+}
+
+func (rs *resolvedSum) value(pv summary.PValue) absdom.Value {
+	v := absdom.Value{Kind: absdom.Kind(pv.Kind), Payload: pv.Payload, Type: pv.Type}
+	if pv.Obj > 0 {
+		v.Obj = rs.objs[pv.Obj-1]
+	}
+	return v
+}
+
+func cloneFieldMap(m map[string]absdom.Value) map[string]absdom.Value {
+	c := make(map[string]absdom.Value, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func cloneHeapMap(m map[*absdom.AObj]map[string]absdom.Value) map[*absdom.AObj]map[string]absdom.Value {
+	c := make(map[*absdom.AObj]map[string]absdom.Value, len(m))
+	for o, fs := range m {
+		c[o] = cloneFieldMap(fs)
+	}
+	return c
+}
+
+// entryBuilder renders a completed recording into a portable entry. ok
+// drops to false if anything cannot be named portably (the entry is then
+// simply not memoized).
+type entryBuilder struct {
+	an  *analyzer
+	e   *summary.Entry
+	idx map[*absdom.AObj]int // 1-based site indices
+	ok  bool
+}
+
+func (b *entryBuilder) siteIndex(o *absdom.AObj) int {
+	if i, ok := b.idx[o]; ok {
+		return i
+	}
+	sk, ok := b.an.siteOf[o]
+	if !ok {
+		b.ok = false
+		return 0
+	}
+	b.e.Sites = append(b.e.Sites, summary.PSite{File: sk.file, Pos: o.Site, Type: o.Type})
+	i := len(b.e.Sites)
+	b.idx[o] = i
+	return i
+}
+
+func (b *entryBuilder) value(v absdom.Value) summary.PValue {
+	pv := summary.PValue{Kind: int(v.Kind), Payload: v.Payload, Type: v.Type}
+	if v.Kind == absdom.KObj {
+		pv.Obj = b.siteIndex(v.Obj)
+	}
+	return pv
+}
+
+// finishRecording renders rec into a portable entry and inserts it into the
+// shared table. The post-state is read from st (the caller's state after
+// the live call returned); ret is the live return value.
+func (an *analyzer) finishRecording(rec *recActive, key artifact.Key, ret absdom.Value, st *absdom.State) {
+	b := &entryBuilder{
+		an:  an,
+		e:   &summary.Entry{Steps: an.steps - rec.startSteps},
+		idx: map[*absdom.AObj]int{},
+		ok:  true,
+	}
+	for _, o := range rec.allocs {
+		b.siteIndex(o)
+	}
+	b.e.NAlloc = len(b.e.Sites)
+	for _, re := range rec.events {
+		pe := summary.PEvent{Obj: b.siteIndex(re.obj), Sig: re.ev.Sig, File: re.ev.File, Pos: re.ev.Pos}
+		for _, a := range re.ev.Args {
+			pe.Args = append(pe.Args, b.value(a))
+		}
+		b.e.Events = append(b.e.Events, pe)
+	}
+	for _, m := range rec.executed {
+		pm, ok := an.methodPRef(m)
+		if !ok {
+			return
+		}
+		b.e.Executed = append(b.e.Executed, pm)
+	}
+	for _, m := range rec.outer {
+		pm, ok := an.methodPRef(m)
+		if !ok {
+			return
+		}
+		b.e.OuterGuard = append(b.e.OuterGuard, pm)
+	}
+	if len(st.Fields) > 0 {
+		b.e.Fields = make(map[string]summary.PValue, len(st.Fields))
+		for k, v := range st.Fields {
+			b.e.Fields[k] = b.value(v)
+		}
+	}
+	if len(st.Heap) > 0 {
+		// Sort by site for deterministic entry bytes (the JSON payload is
+		// content-addressed on disk).
+		objs := make([]*absdom.AObj, 0, len(st.Heap))
+		for o := range st.Heap {
+			objs = append(objs, o)
+		}
+		ord := func(o *absdom.AObj) siteKey { return an.siteOf[o] }
+		sort.Slice(objs, func(i, j int) bool {
+			a, z := ord(objs[i]), ord(objs[j])
+			if a.file != z.file {
+				return a.file < z.file
+			}
+			return a.offset < z.offset
+		})
+		for _, o := range objs {
+			fs := st.Heap[o]
+			h := summary.PHeapObj{Obj: b.siteIndex(o), Fields: make(map[string]summary.PValue, len(fs))}
+			for k, v := range fs {
+				h.Fields[k] = b.value(v)
+			}
+			b.e.Heap = append(b.e.Heap, h)
+		}
+	}
+	if ret.IsValid() {
+		pv := b.value(ret)
+		b.e.Ret = &pv
+	}
+	if !b.ok {
+		return
+	}
+	an.sums.Insert(key, b.e)
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/obs"
+	"repro/internal/summary"
+)
+
+// renderResult flattens a Result into a canonical string: every abstract
+// object in discovery order with its ID, type, site, and deduplicated event
+// keys. Two runs producing the same rendering made the same observations in
+// the same order — the equivalence the summary layer must preserve.
+func renderResult(r *Result) string {
+	var sb strings.Builder
+	for _, o := range r.Objs {
+		fmt.Fprintf(&sb, "#%d %s @%d:%d\n", o.ID, o.Type, o.Site.Line, o.Site.Col)
+		for _, e := range r.Uses[o] {
+			fmt.Fprintf(&sb, "  %s\n", e.Key())
+		}
+	}
+	return sb.String()
+}
+
+// analyzeWith runs src twice — summaries off and on (fresh table) — and
+// fails the test unless the results are identical. It returns the
+// summaries-on rendering and the registry that collected summary.* counters.
+func analyzeWith(t *testing.T, src string) (string, *obs.Registry) {
+	t.Helper()
+	off := renderResult(AnalyzeSource(src, Options{}))
+	reg := obs.NewRegistry()
+	tbl := summary.NewTable(nil, reg)
+	on := renderResult(AnalyzeSource(src, Options{Summaries: tbl}))
+	if on != off {
+		t.Errorf("summaries-on result diverges from summaries-off:\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+	return on, reg
+}
+
+const helperForkSrc = `
+class C {
+    void run(boolean flag) {
+        Cipher a;
+        if (flag) {
+            a = make("AES/CBC/PKCS5Padding");
+        } else {
+            a = make("AES/CBC/PKCS5Padding");
+        }
+        a.init(Cipher.ENCRYPT_MODE, key);
+    }
+    Cipher make(String t) {
+        return Cipher.getInstance(t);
+    }
+    void other() {
+        Cipher b = make("AES/CBC/PKCS5Padding");
+    }
+}
+`
+
+// TestSummaryHitWithinAnalyzer checks the core memoization win: the same
+// helper invoked with the same abstract arguments and field context is
+// executed once and replayed afterwards, with identical results.
+func TestSummaryHitWithinAnalyzer(t *testing.T) {
+	_, reg := analyzeWith(t, helperForkSrc)
+	hits := reg.Counter("summary.hits").Value()
+	misses := reg.Counter("summary.misses").Value()
+	if hits < 1 {
+		t.Errorf("summary.hits = %d, want >= 1 (make is called three times with identical key)", hits)
+	}
+	if misses < 1 {
+		t.Errorf("summary.misses = %d, want >= 1 (first call must record)", misses)
+	}
+}
+
+// TestSummaryCrossAnalyzerSharing checks the mining-run tier: a table shared
+// across analyses of the same program serves the second analysis from
+// memory, and the replayed result is identical to the cold one.
+func TestSummaryCrossAnalyzerSharing(t *testing.T) {
+	reg := obs.NewRegistry()
+	tbl := summary.NewTable(nil, reg)
+	first := renderResult(AnalyzeSource(helperForkSrc, Options{Summaries: tbl}))
+	h0 := reg.Counter("summary.hits").Value()
+	second := renderResult(AnalyzeSource(helperForkSrc, Options{Summaries: tbl}))
+	if second != first {
+		t.Errorf("warm analysis diverges from cold:\n--- cold ---\n%s--- warm ---\n%s", first, second)
+	}
+	if h1 := reg.Counter("summary.hits").Value(); h1 <= h0 {
+		t.Errorf("summary.hits after warm run = %d, want > %d (second analyzer must replay)", h1, h0)
+	}
+}
+
+// TestSummaryPersistedThroughArtifactStore checks the disk tier: entries
+// written through one table are found by a fresh table attached to the same
+// artifact store, so warm corpus re-runs replay helpers recorded by earlier
+// processes.
+func TestSummaryPersistedThroughArtifactStore(t *testing.T) {
+	store := artifact.New(artifact.Config{Dir: t.TempDir()})
+	reg1 := obs.NewRegistry()
+	first := renderResult(AnalyzeSource(helperForkSrc, Options{Summaries: summary.NewTable(store, reg1)}))
+
+	reg2 := obs.NewRegistry()
+	second := renderResult(AnalyzeSource(helperForkSrc, Options{Summaries: summary.NewTable(store, reg2)}))
+	if second != first {
+		t.Errorf("store-warmed analysis diverges:\n--- cold ---\n%s--- warm ---\n%s", first, second)
+	}
+	if hits := reg2.Counter("summary.hits").Value(); hits < 1 {
+		t.Errorf("summary.hits with fresh table over shared store = %d, want >= 1", hits)
+	}
+}
+
+// TestSummaryRecursionWidensToTop: a directly recursive helper must
+// converge via the cycle guard (widening to the callee's declared-type Top)
+// instead of looping, must count summary.cycles, and must produce exactly
+// the summaries-off result.
+func TestSummaryRecursionWidensToTop(t *testing.T) {
+	src := `
+class C {
+    void run() {
+        Cipher c = Cipher.getInstance(depth("AES", 3));
+    }
+    String depth(String s, int n) {
+        if (n > 0) {
+            return depth(s, n - 1);
+        }
+        return s;
+    }
+}
+`
+	_, reg := analyzeWith(t, src)
+	if cy := reg.Counter("summary.cycles").Value(); cy < 1 {
+		t.Errorf("summary.cycles = %d, want >= 1 (depth recurses)", cy)
+	}
+}
+
+// TestSummaryMutualRecursion: a two-method recursive SCC converges the same
+// way — each member's recursive re-entry widens, the pair still analyzes,
+// and results match the summaries-off interpreter.
+func TestSummaryMutualRecursion(t *testing.T) {
+	src := `
+class C {
+    void run() {
+        Cipher c = Cipher.getInstance(ping("AES"));
+        c.init(Cipher.ENCRYPT_MODE, key);
+    }
+    String ping(String s) {
+        return pong(s);
+    }
+    String pong(String s) {
+        return ping(s);
+    }
+}
+`
+	_, reg := analyzeWith(t, src)
+	if cy := reg.Counter("summary.cycles").Value(); cy < 1 {
+		t.Errorf("summary.cycles = %d, want >= 1 (ping/pong form a recursive SCC)", cy)
+	}
+}
+
+// deepChainSrc threads the weak algorithm constant "DES" through a six-deep
+// helper chain before it reaches Cipher.getInstance. At the default
+// MaxInline of 4 the legacy interpreter abandons the chain at h4, so the
+// sink only ever runs in the unexecuted-method sweep with Top parameters —
+// the misuse is invisible. Summaries replace the depth cliff with cycle
+// detection, so the constant flows all the way down.
+const deepChainSrc = `
+class Deep {
+    void entry() {
+        h1("DES");
+    }
+    void h1(String a) { h2(a); }
+    void h2(String a) { h3(a); }
+    void h3(String a) { h4(a); }
+    void h4(String a) { h5(a); }
+    void h5(String a) { h6(a); }
+    void h6(String a) {
+        Cipher c = Cipher.getInstance(a);
+    }
+}
+`
+
+// TestSummaryLiftsDepthCliff pins the motivating behavior change: the
+// depth-6 DES misuse is undetectable under the MaxInline=4 cliff and
+// detected with summaries on.
+func TestSummaryLiftsDepthCliff(t *testing.T) {
+	off := AnalyzeSource(deepChainSrc, Options{})
+	ciphers := off.ObjsOfType("Cipher")
+	if len(ciphers) != 1 {
+		t.Fatalf("summaries-off cipher objects = %d, want 1 (the sweep still reaches h6)", len(ciphers))
+	}
+	if findEvent(off, ciphers[0], `Cipher.getInstance "DES"`) {
+		t.Fatalf("summaries-off unexpectedly sees the DES constant at depth 6: %v", evKeys(off, ciphers[0]))
+	}
+
+	on := AnalyzeSource(deepChainSrc, Options{Summaries: summary.NewTable(nil, obs.NewRegistry())})
+	ciphers = on.ObjsOfType("Cipher")
+	if len(ciphers) != 1 {
+		t.Fatalf("summaries-on cipher objects = %d, want 1", len(ciphers))
+	}
+	if !findEvent(on, ciphers[0], `Cipher.getInstance "DES"`) {
+		t.Errorf("summaries-on misses the DES constant at depth 6: %v", evKeys(on, ciphers[0]))
+	}
+}
+
+// TestSummaryDepthCliffRespectsMaxInlineOff re-pins the legacy contract:
+// with summaries off, raising -max-inline past the chain depth is the only
+// way to see through it.
+func TestSummaryDepthCliffRespectsMaxInlineOff(t *testing.T) {
+	r := AnalyzeSource(deepChainSrc, Options{MaxInline: 8})
+	ciphers := r.ObjsOfType("Cipher")
+	if len(ciphers) != 1 {
+		t.Fatalf("cipher objects = %d, want 1", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `Cipher.getInstance "DES"`) {
+		t.Errorf("MaxInline=8 without summaries misses the constant: %v", evKeys(r, ciphers[0]))
+	}
+}
+
+// TestSummaryEquivalenceOnPaperExamples replays the package's existing
+// fixture sources under summaries and requires byte-identical results —
+// object IDs, discovery order, and deduplicated event streams.
+func TestSummaryEquivalenceOnPaperExamples(t *testing.T) {
+	for name, src := range map[string]string{
+		"newVersion": newVersionSrc,
+		"oldVersion": oldVersionSrc,
+	} {
+		t.Run(name, func(t *testing.T) { analyzeWith(t, src) })
+	}
+}
+
+// TestSummaryProvenanceStillLiftsDepth: with provenance on, memoization is
+// disabled (entries carry no provenance) but the depth lift must still
+// apply, so -why and plain runs agree on which violations exist.
+func TestSummaryProvenanceStillLiftsDepth(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := AnalyzeSource(deepChainSrc, Options{
+		Summaries:  summary.NewTable(nil, reg),
+		Provenance: true,
+	})
+	ciphers := r.ObjsOfType("Cipher")
+	if len(ciphers) != 1 {
+		t.Fatalf("cipher objects = %d, want 1", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `Cipher.getInstance "DES"`) {
+		t.Errorf("provenance-on summaries mode misses the depth-6 constant: %v", evKeys(r, ciphers[0]))
+	}
+	if hits := reg.Counter("summary.hits").Value(); hits != 0 {
+		t.Errorf("summary.hits = %d with provenance on, want 0 (memoization must be off)", hits)
+	}
+}
+
+// TestEntryMethodArityOverload is the regression test for the entry-method
+// heuristic: a 2-arg overload that no call resolves to must stay an entry
+// method even though its 1-arg sibling is called — name-only matching used
+// to demote it.
+func TestEntryMethodArityOverload(t *testing.T) {
+	src := `
+class C {
+    void run() {
+        help("AES");
+    }
+    Cipher help(String t) {
+        return Cipher.getInstance(t);
+    }
+    Cipher help(String t, String mode) {
+        return Cipher.getInstance(t + "/" + mode);
+    }
+}
+`
+	prog := ParseProgram(map[string]string{"C.java": src})
+	an := newAnalyzer(prog, Options{}.withDefaults())
+	ci := an.classes["C"]
+	if ci == nil {
+		t.Fatal("class C not indexed")
+	}
+	var entries []string
+	for _, m := range an.entryMethods(ci) {
+		entries = append(entries, fmt.Sprintf("%s/%d", m.Name, len(m.Params)))
+	}
+	want := map[string]bool{"run/0": true, "help/2": true}
+	if len(entries) != len(want) {
+		t.Fatalf("entry methods = %v, want run/0 and help/2", entries)
+	}
+	for _, e := range entries {
+		if !want[e] {
+			t.Errorf("unexpected entry method %s (want run/0 and help/2)", e)
+		}
+	}
+}

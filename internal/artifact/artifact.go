@@ -57,6 +57,12 @@ const (
 	// KindManifest: per-project corpus manifests recorded at load time; a
 	// warm hit means the project's content is byte-identical to a prior run.
 	KindManifest Kind = "manifest"
+	// KindSummary: memoized per-method summaries of the abstract
+	// interpreter, keyed by the whole-program source fingerprint plus the
+	// callee's identity, abstract arguments, heap/field context, and the
+	// analysis options that shape execution. A warm hit replays the callee's
+	// recorded effect instead of re-interpreting its body.
+	KindSummary Kind = "summary"
 )
 
 // FormatVersion versions every entry (key derivation and disk format).

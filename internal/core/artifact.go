@@ -45,8 +45,10 @@ import (
 // artifacts are shared across them.
 func optFingerprint(o Options) string {
 	a := o.Analysis.Normalized()
-	return fmt.Sprintf("depth=%d;maxstates=%d;maxinline=%d;budgetsteps=%d;budgetwall=%d;prov=%t",
-		o.Depth, a.MaxStates, a.MaxInline, o.BudgetSteps, int64(o.BudgetWall), a.Provenance)
+	// Summaries participate because they lift the MaxInline cliff: results
+	// can differ past depth 4, so on/off address distinct artifacts.
+	return fmt.Sprintf("depth=%d;maxstates=%d;maxinline=%d;budgetsteps=%d;budgetwall=%d;prov=%t;summaries=%t",
+		o.Depth, a.MaxStates, a.MaxInline, o.BudgetSteps, int64(o.BudgetWall), a.Provenance, !o.DisableSummaries)
 }
 
 // rulesFingerprint renders a rule set's identity: ID, formula, and

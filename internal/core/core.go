@@ -24,6 +24,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/rules"
+	"repro/internal/summary"
 	"repro/internal/trace"
 	"repro/internal/usage"
 	"repro/internal/witness"
@@ -75,6 +76,21 @@ type Options struct {
 	// Output is byte-identical with the store on or off; only how often
 	// the parser, interpreter, and checker run changes.
 	Artifacts *artifact.Store
+	// DisableSummaries turns off memoized per-method summaries (the
+	// -summaries=false CLI toggle) and restores the exact legacy
+	// interpreter: every callee re-inlined at every call site, reach
+	// bounded by Analysis.MaxInline. With summaries on (the default) hot
+	// helpers are interpreted once per distinct abstract input and the
+	// depth bound is lifted (cycle detection replaces it), so results can
+	// legitimately differ on programs with helper chains deeper than
+	// MaxInline — the two modes therefore address distinct analysis
+	// artifacts.
+	DisableSummaries bool
+	// Summaries, when non-nil, is the shared summary table of this run;
+	// nil (the default) makes New/NewChecker build one over
+	// Artifacts/Metrics unless DisableSummaries is set. A server passes
+	// one process-lifetime table so requests share summaries in memory.
+	Summaries *summary.Table
 }
 
 // pool builds the worker pool the pipeline's batch stages dispatch onto.
@@ -92,6 +108,12 @@ func (o Options) withDefaults() Options {
 	if o.Analysis.Metrics == nil {
 		o.Analysis.Metrics = o.Metrics
 	}
+	if o.DisableSummaries {
+		o.Summaries = nil
+	} else if o.Summaries == nil {
+		o.Summaries = summary.NewTable(o.Artifacts, o.Metrics)
+	}
+	o.Analysis.Summaries = o.Summaries
 	return o
 }
 

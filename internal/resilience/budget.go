@@ -121,6 +121,41 @@ func (b *Budget) Step() error {
 	return nil
 }
 
+// StepN consumes n units of budget at once — the bulk form Step used when a
+// memoized method summary replays a callee's recorded step cost instead of
+// re-executing it. The accounting matches n consecutive Step calls: the same
+// sticky error once the step limit is crossed, and the same amortized wall
+// clock/cancellation poll whenever the bulk charge crosses a poll boundary.
+func (b *Budget) StepN(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	before := b.used
+	b.used += n
+	if b.maxSteps > 0 && b.used > b.maxSteps {
+		b.err = fmt.Errorf("%w after %d steps", ErrBudgetExhausted, b.maxSteps)
+		return b.err
+	}
+	if b.used&^wallCheckMask != before&^wallCheckMask {
+		if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+			b.err = fmt.Errorf("%w: wall clock limit hit after %d steps", ErrBudgetExhausted, b.used)
+			return b.err
+		}
+		if b.done != nil {
+			select {
+			case <-b.done:
+				b.err = fmt.Errorf("%w after %d steps", ErrCanceled, b.used)
+				return b.err
+			default:
+			}
+		}
+	}
+	return nil
+}
+
 // Used reports the steps consumed so far.
 func (b *Budget) Used() int64 {
 	if b == nil {

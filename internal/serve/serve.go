@@ -39,6 +39,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/obs"
 	"repro/internal/rules"
+	"repro/internal/summary"
 	"repro/internal/trace"
 
 	"repro/internal/core"
@@ -166,6 +167,13 @@ func New(opts Options) *Server {
 	// The checker owns the cache lookups; every request-scoped checker and
 	// DiffCode the handlers build inherits this store.
 	opts.Checker.Artifacts = opts.Artifacts
+	// One process-lifetime summary table: the per-request checkers the
+	// handlers build all share it, so method summaries recorded for one
+	// request serve every later request over the same sources (and persist
+	// through the artifact store when one is disk-backed).
+	if !opts.Checker.DisableSummaries && opts.Checker.Summaries == nil {
+		opts.Checker.Summaries = summary.NewTable(opts.Artifacts, reg)
+	}
 	s := &Server{
 		opts:   opts,
 		reg:    reg,

@@ -1,0 +1,131 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/obs"
+)
+
+func testKey(parts ...string) artifact.Key {
+	return artifact.NewKey(artifact.KindSummary, parts...)
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tbl := NewTable(nil, nil)
+	k := testKey("prog", "C", "0")
+	if tbl.Lookup(k) != nil {
+		t.Fatal("lookup on empty table returned an entry")
+	}
+	e := &Entry{Steps: 7, Ret: &PValue{Kind: 1, Payload: "AES"}}
+	tbl.Insert(k, e)
+	got := tbl.Lookup(k)
+	if got != e {
+		t.Fatalf("lookup = %v, want the inserted entry", got)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestTableFirstInsertWins(t *testing.T) {
+	tbl := NewTable(nil, nil)
+	k := testKey("prog", "C", "0")
+	first := &Entry{Steps: 1}
+	second := &Entry{Steps: 2}
+	tbl.Insert(k, first)
+	tbl.Insert(k, second)
+	if got := tbl.Lookup(k); got != first {
+		t.Fatalf("lookup = %+v, want the first insert (steps=1)", got)
+	}
+}
+
+func TestTableNilSafety(t *testing.T) {
+	var tbl *Table
+	k := testKey("prog")
+	if tbl.Lookup(k) != nil {
+		t.Error("nil table lookup returned an entry")
+	}
+	tbl.Insert(k, &Entry{})
+	if tbl.Len() != 0 {
+		t.Error("nil table has nonzero length")
+	}
+	// Telemetry on a nil table must be a no-op, not a panic.
+	tbl.Hit()
+	tbl.Miss()
+	tbl.Instantiation()
+	tbl.Cycle()
+}
+
+func TestTableWriteThroughStore(t *testing.T) {
+	store := artifact.New(artifact.Config{Dir: t.TempDir()})
+	k := testKey("prog", "C", "1")
+	e := &Entry{
+		Sites:  []PSite{{File: 0, Type: "Cipher"}},
+		NAlloc: 1,
+		Events: []PEvent{{Obj: 1, File: "C.java"}},
+		Fields: map[string]PValue{"f": {Kind: 1, Payload: "AES"}},
+		Steps:  42,
+	}
+	NewTable(store, nil).Insert(k, e)
+
+	// A fresh table over the same store must decode the persisted entry.
+	warm := NewTable(store, nil)
+	got := warm.Lookup(k)
+	if got == nil {
+		t.Fatal("persisted entry not found by a fresh table")
+	}
+	if got.Steps != 42 || got.NAlloc != 1 || len(got.Sites) != 1 || got.Sites[0].Type != "Cipher" {
+		t.Fatalf("decoded entry = %+v, want the persisted one", got)
+	}
+	if got.Fields["f"].Payload != "AES" {
+		t.Fatalf("decoded fields = %+v", got.Fields)
+	}
+	// The disk hit is promoted: a second lookup returns the same pointer.
+	if again := warm.Lookup(k); again != got {
+		t.Error("disk hit was not promoted into the in-memory map")
+	}
+}
+
+func TestCountersRegisteredEagerly(t *testing.T) {
+	reg := obs.NewRegistry()
+	NewTable(nil, reg)
+	// The series must exist (at zero) before any lookup, so scrapes and
+	// snapshots carry them from process start.
+	var sb strings.Builder
+	if err := obs.WriteProm(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, series := range []string{
+		"summary_hits_total 0",
+		"summary_misses_total 0",
+		"summary_instantiations_total 0",
+		"summary_cycles_total 0",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("prom exposition missing %q:\n%s", series, out)
+		}
+	}
+}
+
+func TestCountersCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	tbl := NewTable(nil, reg)
+	tbl.Hit()
+	tbl.Hit()
+	tbl.Miss()
+	tbl.Instantiation()
+	tbl.Cycle()
+	for name, want := range map[string]int64{
+		"summary.hits":           2,
+		"summary.misses":         1,
+		"summary.instantiations": 1,
+		"summary.cycles":         1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"strings"
 
 	"repro/internal/absdom"
-	"repro/internal/artifact"
 	"repro/internal/cryptoapi"
 	"repro/internal/javaast"
 	"repro/internal/javaparser"
@@ -352,7 +351,7 @@ type analyzer struct {
 	sumOptsFP string
 	siteOf    map[*absdom.AObj]siteKey
 	recs      []*recActive
-	localSums map[artifact.Key]*resolvedSum
+	localSums map[*summary.Entry]*resolvedSum
 	methodRef map[*javaast.MethodDecl]summary.PMethod
 	// provOn enables flow-provenance tracking (Options.Provenance). Every
 	// attach site in the hot loop is gated on this one bool, so the
@@ -430,7 +429,7 @@ func newAnalyzer(prog *Program, opts Options) *analyzer {
 	// lift of the summaries mode applies.
 	an.memoOK = an.sums != nil && !an.provOn && prog.SourceFP != ""
 	if an.memoOK {
-		an.localSums = map[artifact.Key]*resolvedSum{}
+		an.localSums = map[*summary.Entry]*resolvedSum{}
 		an.sumOptsFP = fmt.Sprintf("ms=%d", opts.MaxStates)
 	}
 	for fi, f := range prog.Files {

@@ -525,6 +525,9 @@ func (an *analyzer) inlineCall(ci *classInfo, m *javaast.MethodDecl, args []absd
 			return returnTop(m)
 		}
 	}
+	// Summary replays do not consume stack depth, so near this backstop a
+	// warm hit can stand in for a call a cold run would widen here — an
+	// accepted divergence on degenerate >512-frame chains (summary.go header).
 	if len(an.inlineStack) >= maxLiftedInline {
 		return returnTop(m)
 	}

@@ -19,10 +19,16 @@ package analysis
 // (allocObjAt, record, markExecuted, stepN), so analyzer-global effects —
 // allocation order, event attempt order, executed marks, step cost — land
 // as if the callee had run, and nested recordings observe replays exactly
-// as they observe live execution. The only accepted divergence is step
+// as they observe live execution. Two divergences are accepted. First, step
 // accounting around the static-field constant cache: a replay charges the
 // recorded cost while a live re-call would hit the warm cache, which can
-// shift budget-exhaustion boundaries (never results) under -budget.
+// shift budget-exhaustion boundaries (never results) under -budget. Second,
+// the maxLiftedInline backstop: a replay does not consume inline-stack
+// depth, so within maxLiftedInline frames of the backstop a warm hit can
+// stand in for a call that a cold run would have widened to Top — reachable
+// only on degenerate programs whose distinct-method call chains exceed 512
+// frames (depth is deliberately outside the key; putting it in would
+// fragment the table per call depth).
 //
 // Cycle policy: with summaries on, the MaxInline depth cliff is replaced by
 // cycle detection — a recursive call (direct or through a SCC) widens to
@@ -257,21 +263,25 @@ func (an *analyzer) resolveMethod(pm summary.PMethod) *javaast.MethodDecl {
 }
 
 // lookupSummary fetches and rebinds the entry for key, caching the resolved
-// form per analyzer. Resolution is side-effect free; an entry whose
-// referenced sites or methods don't resolve here reads as a miss.
+// form per analyzer. The cache is keyed by the entry itself, not the lookup
+// key: the table may replace a cycle-context entry with a guard-free
+// recording under the same key, and the replacement must be picked up here
+// rather than shadowed by a stale resolution. Resolution is side-effect
+// free; an entry whose referenced sites or methods don't resolve here reads
+// as a miss.
 func (an *analyzer) lookupSummary(key artifact.Key) *resolvedSum {
-	if rs, ok := an.localSums[key]; ok {
-		return rs
-	}
 	e := an.sums.Lookup(key)
 	if e == nil {
 		return nil
+	}
+	if rs, ok := an.localSums[e]; ok {
+		return rs
 	}
 	rs := an.resolveSummary(e)
 	if rs == nil {
 		return nil
 	}
-	an.localSums[key] = rs
+	an.localSums[e] = rs
 	an.sums.Instantiation()
 	return rs
 }
@@ -280,7 +290,7 @@ func (an *analyzer) lookupSummary(key artifact.Key) *resolvedSum {
 // references against this analyzer and validates the entry's internal
 // indices (a malformed disk artifact reads as a miss, never a panic).
 func (an *analyzer) resolveSummary(e *summary.Entry) *resolvedSum {
-	if e.NAlloc < 0 || e.NAlloc > len(e.Sites) {
+	if e.Steps < 0 || e.NAlloc < 0 || e.NAlloc > len(e.Sites) {
 		return nil
 	}
 	okIdx := func(i int) bool { return i >= 1 && i <= len(e.Sites) }
@@ -373,6 +383,20 @@ func (an *analyzer) summaryValid(rs *resolvedSum) bool {
 func (an *analyzer) applySummary(rs *resolvedSum, st *absdom.State) absdom.Value {
 	e := rs.entry
 	an.stepN(e.Steps)
+	// The entry's outer guards replay too: a live execution here would hit
+	// the recursion guard against each of them, so every in-flight recording
+	// that began after the guard method was pushed must inherit the mark —
+	// otherwise an enclosing summary would be memoized guard-free and later
+	// replay its embedded widening under callers without the cycle.
+	// summaryValid guarantees each guard is on the stack.
+	for _, m := range rs.outer {
+		for i, on := range an.inlineStack {
+			if on == m {
+				an.noteCycle(i, m)
+				break
+			}
+		}
+	}
 	if !rs.materialized {
 		an.materializeSummary(rs)
 	} else {

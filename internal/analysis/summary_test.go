@@ -251,6 +251,76 @@ func TestSummaryProvenanceStillLiftsDepth(t *testing.T) {
 	}
 }
 
+// outerGuardSrc builds the cycle-context replay chain the OuterGuard
+// machinery exists for. Under entry's first call, x records h while x is on
+// the stack, so h's summary embeds the x-recursion widening and carries
+// OuterGuard=[x]; x then records g, whose execution *replays* h rather than
+// running it. The replay must propagate h's guard into g's in-flight
+// recording — otherwise g is memoized guard-free and entry's direct g()
+// call replays the embedded widening where live execution runs x("Q")'s
+// body (whose Cipher.getInstance("Q") event is the observable difference).
+const outerGuardSrc = `
+class C {
+    void entry() {
+        x("P");
+        g();
+    }
+    void x(String s) {
+        Cipher c = Cipher.getInstance(s);
+        h();
+        g();
+    }
+    String g() {
+        return h();
+    }
+    String h() {
+        x("Q");
+        return "k";
+    }
+}
+`
+
+// TestSummaryOuterGuardPropagatesThroughReplay is the regression test for
+// guard inheritance across replays: a summary recorded while replaying a
+// cycle-dependent summary must itself be cycle-dependent, so calling the
+// outer helper without the cycle on the stack executes live and matches the
+// summaries-off interpreter exactly.
+func TestSummaryOuterGuardPropagatesThroughReplay(t *testing.T) {
+	_, reg := analyzeWith(t, outerGuardSrc)
+	if cy := reg.Counter("summary.cycles").Value(); cy < 1 {
+		t.Errorf("summary.cycles = %d, want >= 1 (h widens against x)", cy)
+	}
+
+	// The sharp end: the "Q" event only exists if entry's g() ran live.
+	r := AnalyzeSource(outerGuardSrc, Options{Summaries: summary.NewTable(nil, obs.NewRegistry())})
+	ciphers := r.ObjsOfType("Cipher")
+	if len(ciphers) != 1 {
+		t.Fatalf("cipher objects = %d, want 1", len(ciphers))
+	}
+	if !findEvent(r, ciphers[0], `Cipher.getInstance "Q"`) {
+		t.Errorf("g() outside the x-cycle replayed the embedded widening instead of executing live: %v",
+			evKeys(r, ciphers[0]))
+	}
+}
+
+// TestResolveSummaryRejectsCorruptEntries: malformed disk artifacts must
+// read as misses, including a negative step count that would otherwise
+// corrupt the analyzer's budget accounting on replay.
+func TestResolveSummaryRejectsCorruptEntries(t *testing.T) {
+	prog := ParseProgram(map[string]string{"C.java": "class C { void run() {} }"})
+	an := newAnalyzer(prog, Options{}.withDefaults())
+	for name, e := range map[string]*summary.Entry{
+		"negativeSteps": {Steps: -1},
+		"negativeAlloc": {NAlloc: -1},
+		"allocOverrun":  {NAlloc: 1},
+		"badEventObj":   {Events: []summary.PEvent{{Obj: 2}}},
+	} {
+		if rs := an.resolveSummary(e); rs != nil {
+			t.Errorf("%s: resolveSummary accepted corrupt entry %+v", name, e)
+		}
+	}
+}
+
 // TestEntryMethodArityOverload is the regression test for the entry-method
 // heuristic: a 2-arg overload that no call resolves to must stay an entry
 // method even though its 1-arg sibling is called — name-only matching used

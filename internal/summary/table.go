@@ -85,17 +85,23 @@ func (t *Table) Lookup(key artifact.Key) *Entry {
 }
 
 // Insert records a freshly recorded entry under key and writes it through
-// to the artifact store when one is attached. Concurrent inserts under the
-// same key keep the first entry (identical by construction — the key pins
-// the whole program and context).
+// to the artifact store when one is attached. The key pins the whole
+// program and abstract input but not the caller's inline stack, so entries
+// with a non-empty OuterGuard are stack-context variants of the same key:
+// concurrent inserts keep the first entry, except that a guard-free
+// recording replaces a cycle-context one — the guard-free entry is valid
+// under every caller, while the guarded one would leave the common
+// no-cycle context a permanent miss.
 func (t *Table) Insert(key artifact.Key, e *Entry) {
 	if t == nil || e == nil {
 		return
 	}
 	t.mu.Lock()
-	if _, ok := t.mem[key]; ok {
-		t.mu.Unlock()
-		return
+	if prior, ok := t.mem[key]; ok {
+		if len(prior.OuterGuard) == 0 || len(e.OuterGuard) > 0 {
+			t.mu.Unlock()
+			return
+		}
 	}
 	t.mem[key] = e
 	t.mu.Unlock()

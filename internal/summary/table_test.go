@@ -41,6 +41,62 @@ func TestTableFirstInsertWins(t *testing.T) {
 	}
 }
 
+// TestTableGuardFreeReplacesGuarded: the key excludes the caller's inline
+// stack, so a cycle-context entry (non-empty OuterGuard) and a guard-free
+// one can share a key. The guard-free entry must win regardless of insert
+// order — otherwise the common no-cycle context re-records forever.
+func TestTableGuardFreeReplacesGuarded(t *testing.T) {
+	guarded := func(steps int64) *Entry {
+		return &Entry{Steps: steps, OuterGuard: []PMethod{{Class: "C", Index: 0}}}
+	}
+	free := func(steps int64) *Entry { return &Entry{Steps: steps} }
+
+	t.Run("guardFreeReplaces", func(t *testing.T) {
+		tbl := NewTable(nil, nil)
+		k := testKey("prog", "C", "0")
+		g, f := guarded(1), free(2)
+		tbl.Insert(k, g)
+		tbl.Insert(k, f)
+		if got := tbl.Lookup(k); got != f {
+			t.Fatalf("lookup = %+v, want the guard-free replacement", got)
+		}
+	})
+	t.Run("guardedNeverReplaces", func(t *testing.T) {
+		tbl := NewTable(nil, nil)
+		k := testKey("prog", "C", "0")
+		f, g := free(1), guarded(2)
+		tbl.Insert(k, f)
+		tbl.Insert(k, g)
+		if got := tbl.Lookup(k); got != f {
+			t.Fatalf("lookup = %+v, want the original guard-free entry", got)
+		}
+	})
+	t.Run("guardedKeepsFirst", func(t *testing.T) {
+		tbl := NewTable(nil, nil)
+		k := testKey("prog", "C", "0")
+		g1, g2 := guarded(1), guarded(2)
+		tbl.Insert(k, g1)
+		tbl.Insert(k, g2)
+		if got := tbl.Lookup(k); got != g1 {
+			t.Fatalf("lookup = %+v, want the first guarded entry", got)
+		}
+	})
+	t.Run("replacementWritesThrough", func(t *testing.T) {
+		store := artifact.New(artifact.Config{Dir: t.TempDir()})
+		k := testKey("prog", "C", "0")
+		NewTable(store, nil).Insert(k, guarded(1))
+		warm := NewTable(store, nil)
+		if got := warm.Lookup(k); got == nil || len(got.OuterGuard) != 1 {
+			t.Fatalf("warm lookup = %+v, want the persisted guarded entry", got)
+		}
+		warm.Insert(k, free(2))
+		got := NewTable(store, nil).Lookup(k)
+		if got == nil || got.Steps != 2 || len(got.OuterGuard) != 0 {
+			t.Fatalf("persisted entry = %+v, want the guard-free replacement (steps=2)", got)
+		}
+	})
+}
+
 func TestTableNilSafety(t *testing.T) {
 	var tbl *Table
 	k := testKey("prog")

@@ -60,6 +60,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The rule-pack gate: corpusgen evaluates no rules, but -rules still
+	// validates (and exits 2 on error findings) so one uniform flag set
+	// fails in the same place from every tool.
+	_ = std.ActiveRules(run.Reg)
+
 	// -trace spans both stages of the run (generate, then the per-project
 	// save fan-out); the tree dumps to stderr before the final exit paths.
 	tctx, troot := std.Trace().Begin("corpusgen")

@@ -9,6 +9,16 @@
 //	cryptochecker -android -minsdk 17 src/
 //
 // Exit status is 1 when at least one rule matches, 0 otherwise.
+//
+// Rule packs load through the uniform -rules flag (repeatable); packs are
+// compiled and linted before anything runs, and error-level findings abort
+// with exit 2 (-rules-lax loads what compiles instead). -lint-rules turns
+// the tool into a standalone pack linter:
+//
+//	cryptochecker -lint-rules pack.rules [more.rules ...]
+//
+// printing the diagnostics (as JSON with -why=json) and exiting 2 on
+// error findings, 1 on warnings, 0 on a clean pack.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/ruledsl"
+	"repro/internal/rulelint"
 	"repro/internal/rules"
 	"repro/internal/summary"
 	"repro/internal/witness"
@@ -34,8 +45,9 @@ import (
 
 func main() {
 	var (
-		ruleList  = flag.String("rules", "", "comma-separated rule IDs (default: all 13)")
-		ruleFile  = flag.String("rulefile", "", "load additional rules from a file ('id | description | formula' lines)")
+		ruleList  = flag.String("only", "", "comma-separated rule IDs to check (default: the full active set)")
+		ruleFile  = flag.String("rulefile", "", "load additional rules from a file ('id | description | formula' lines; unlinted legacy path — prefer -rules)")
+		lintRules = flag.Bool("lint-rules", false, "lint the given rule pack files and exit (2 = errors, 1 = warnings, 0 = clean)")
 		android   = flag.Bool("android", false, "treat the project as an Android app")
 		minSDK    = flag.Int("minsdk", 0, "Android minSdkVersion (for rule R6)")
 		lprng     = flag.Bool("lprng", false, "the Linux-PRNG SecureRandom fix is installed")
@@ -55,6 +67,12 @@ func main() {
 	why := std.Why()
 	workers := std.Workers()
 
+	if *lintRules {
+		// Standalone pack linter: -rules flags and positional arguments are
+		// all pack files; the report is the product, on stdout.
+		lintMode(std, why)
+		return
+	}
 	if *list {
 		for _, r := range rules.All() {
 			fmt.Printf("%-4s %s\n     %s\n", r.ID, r.Description, r.Formula)
@@ -80,16 +98,31 @@ func main() {
 	// with -cache-dir the parses persist across runs.
 	store := std.Artifacts(run.Reg)
 
+	// The rule-pack gate: -rules packs compile, lint, and merge with the
+	// built-ins (exit 2 on error findings unless -rules-lax); without the
+	// flag the active set is exactly the built-in 13.
 	ruleSet := rules.All()
+	if active := std.ActiveRules(run.Reg); active != nil {
+		ruleSet = active
+	}
 	if *ruleList != "" {
-		ruleSet = nil
+		byID := make(map[string]*rules.Rule, len(ruleSet))
+		for _, r := range ruleSet {
+			byID[r.ID] = r
+		}
+		filtered := []*rules.Rule(nil)
 		for _, id := range strings.Split(*ruleList, ",") {
-			r := rules.ByID(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			r := byID[id]
+			if r == nil {
+				r = rules.ByID(id) // CL1–CL5 aliases stay addressable
+			}
 			if r == nil {
 				cliutil.UsageError("cryptochecker", "unknown rule %q", id)
 			}
-			ruleSet = append(ruleSet, r)
+			filtered = append(filtered, r)
 		}
+		ruleSet = filtered
 	}
 	if *ruleFile != "" {
 		content, err := os.ReadFile(*ruleFile)
@@ -216,6 +249,38 @@ func main() {
 	}
 	if !*quiet && why != cliutil.WhyJSON {
 		fmt.Printf("no rule violations across %d file(s)\n", len(sources))
+	}
+}
+
+// lintMode is the standalone pack linter behind -lint-rules: every -rules
+// flag and positional argument names a pack file, the rendered report goes
+// to stdout (JSON with -why=json), and the exit status grades the result —
+// 2 on error findings, 1 on warnings only, 0 on a clean pack.
+func lintMode(std *cliutil.Standard, why cliutil.WhyMode) {
+	paths := append(std.RulePacks(), flag.Args()...)
+	if len(paths) == 0 {
+		cliutil.UsageError("cryptochecker", "-lint-rules needs rule pack files (-rules or positional arguments)")
+	}
+	res, err := rulelint.Load(paths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryptochecker: loading rule packs: %v\n", err)
+		os.Exit(2)
+	}
+	if why == cliutil.WhyJSON {
+		b, err := res.Report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cryptochecker: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(res.Report.Render())
+	}
+	switch {
+	case res.Report.HasErrors():
+		os.Exit(2)
+	case res.Report.HasFindings():
+		os.Exit(1)
 	}
 }
 

@@ -76,6 +76,10 @@ func main() {
 		Artifacts:        std.Artifacts(run.Reg),
 	}
 	opts.Analysis.MaxInline = std.MaxInline()
+	// The rule-pack gate: -rules packs must compile and lint before any
+	// mode runs (exit 2 on error findings unless -rules-lax). The merged
+	// set feeds the -why check path; mining itself evaluates no rules.
+	activeRules := std.ActiveRules(run.Reg)
 	classes := cryptoapi.TargetClasses
 	if *class != "" {
 		if !cryptoapi.IsTarget(*class) {
@@ -87,7 +91,7 @@ func main() {
 
 	switch {
 	case *oldFile != "" && *newFile != "":
-		runSingle(tctx, run, *oldFile, *newFile, classes, opts, *showDiff, *dot, why)
+		runSingle(tctx, run, *oldFile, *newFile, classes, opts, *showDiff, *dot, why, activeRules)
 	case *corpusDir != "":
 		if why.On() {
 			cliutil.UsageError("diffcode", "-why applies to single-change mode (-old/-new) only")
@@ -98,7 +102,7 @@ func main() {
 	}
 }
 
-func runSingle(tctx context.Context, run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool, why cliutil.WhyMode) {
+func runSingle(tctx context.Context, run *obs.CLI, oldPath, newPath string, classes []string, opts core.Options, showDiff, dot bool, why cliutil.WhyMode, activeRules []*rules.Rule) {
 	oldSrc := mustRead(oldPath)
 	newSrc := mustRead(newPath)
 	if showDiff {
@@ -147,16 +151,17 @@ func runSingle(tctx context.Context, run *obs.CLI, oldPath, newPath string, clas
 		fmt.Println("no semantic usage changes (refactoring or unrelated change)")
 	}
 	if why.On() {
-		printWhy(tctx, run, oldPath, oldSrc, newPath, newSrc, opts, why)
+		printWhy(tctx, run, oldPath, oldSrc, newPath, newSrc, opts, why, activeRules)
 	}
 	run.Flush(d.Ledger(), false)
 }
 
-// printWhy checks both versions of the change against the full rule set and
-// prints witness traces for the violations the change fixed (old version
-// only) and introduced (new version only).
-func printWhy(tctx context.Context, run *obs.CLI, oldPath, oldSrc, newPath, newSrc string, opts core.Options, why cliutil.WhyMode) {
-	checker := core.NewChecker(nil, opts)
+// printWhy checks both versions of the change against the active rule set
+// (the built-ins, plus any -rules packs) and prints witness traces for the
+// violations the change fixed (old version only) and introduced (new
+// version only).
+func printWhy(tctx context.Context, run *obs.CLI, oldPath, oldSrc, newPath, newSrc string, opts core.Options, why cliutil.WhyMode, activeRules []*rules.Rule) {
+	checker := core.NewChecker(activeRules, opts)
 	ctx := rules.Context{}
 	oldVs, oldTraces := checker.CheckSourcesWhyCtx(tctx, map[string]string{oldPath: oldSrc}, ctx)
 	newVs, newTraces := checker.CheckSourcesWhyCtx(tctx, map[string]string{newPath: newSrc}, ctx)

@@ -78,8 +78,17 @@ func main() {
 		DisableSummaries: !std.Summaries(),
 	}
 	copts.Analysis.MaxInline = std.MaxInline()
+	// The rule-pack gate: -rules packs must lint before the server binds
+	// (exit 2 on error findings unless -rules-lax). The pack paths stay
+	// with the server for hot reload — SIGHUP or POST /v1/rules/reload
+	// re-lints and atomically swaps the active set; a broken pack on
+	// reload keeps the previous set live.
+	activeRules := std.ActiveRules(reg)
 	srv := serve.New(serve.Options{
-		Checker: copts,
+		Checker:        copts,
+		Rules:          activeRules,
+		RulePacks:      std.RulePacks(),
+		RulesLax:       std.RulesLax(),
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
 		RequestTimeout: *timeout,
@@ -94,6 +103,27 @@ func main() {
 	errc := make(chan error, 1)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	// SIGHUP hot-reloads the rule packs (the POST /v1/rules/reload of the
+	// signal world): re-read, re-lint, swap atomically; a failed reload
+	// logs the findings and keeps the running set.
+	hupc := make(chan os.Signal, 1)
+	signal.Notify(hupc, syscall.SIGHUP)
+	go func() {
+		for range hupc {
+			out := srv.ReloadRules()
+			if out.OK {
+				fmt.Fprintf(os.Stderr, "diffcoded: SIGHUP: rules reloaded (epoch %d, %d rules)\n", out.Epoch, out.Rules)
+				continue
+			}
+			if out.Report != nil {
+				fmt.Fprint(os.Stderr, out.Report.Render())
+			}
+			if out.Err != "" {
+				fmt.Fprintf(os.Stderr, "diffcoded: SIGHUP: %s\n", out.Err)
+			}
+			fmt.Fprintf(os.Stderr, "diffcoded: SIGHUP: reload failed, keeping rule set epoch %d\n", out.Epoch)
+		}
+	}()
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 
 	// Wait for the listener to bind so the address line is accurate.

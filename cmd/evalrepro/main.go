@@ -94,6 +94,11 @@ func main() {
 	// LIFO, so it lands after the telemetry flush on stderr).
 	tctx, troot := std.Trace().Begin("evalrepro")
 	defer std.Trace().Dump(os.Stderr, troot)
+	// The rule-pack gate: -rules packs must compile and lint cleanly before
+	// the run (exit 2 on error findings unless -rules-lax). The evaluation
+	// harness reproduces the paper's figures over the built-in rules, so
+	// the merged set is validated and registered but not evaluated here.
+	_ = std.ActiveRules(run.Reg)
 	cfg := corpus.Config{Seed: *seed, Scale: *scale, Projects: *projects, ExtraProjects: *extra}
 	opts := core.Options{
 		Depth:            *depth,

@@ -415,6 +415,15 @@ func (an *analyzer) apiStaticCall(class string, c *javaast.Call, args []absdom.V
 		}
 		return v
 	}
+	if found && sig.Static {
+		// Static void configuration call (e.g. HttpsURLConnection.
+		// setDefaultHostnameVerifier): no object flows out, but the call
+		// is still an observable usage event — record it on a fresh
+		// class-level object at this call site so rules can match it.
+		obj := an.allocObj(an.fileOf(c), c, class)
+		an.record(obj, Event{Sig: sig, Args: args, File: an.fileName(), Pos: c.Pos()})
+		return absdom.Value{}
+	}
 	return absdom.TopObj("")
 }
 

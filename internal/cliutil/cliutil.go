@@ -108,6 +108,8 @@ type Standard struct {
 	cacheDir  *string
 	maxInline *int
 	summaries *bool
+	rulePacks *[]string
+	rulesLax  *bool
 }
 
 // StandardFlags registers the shared flag set for the named tool on the
@@ -122,6 +124,8 @@ func StandardFlags(tool string) *Standard {
 		cacheDir:  CacheDirFlag(),
 		maxInline: MaxInlineFlag(),
 		summaries: SummariesFlag(),
+		rulePacks: RulePacksFlag(),
+		rulesLax:  RulesLaxFlag(),
 	}
 }
 

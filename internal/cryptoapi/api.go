@@ -137,9 +137,9 @@ func MethodsOf(class string) []MethodSig {
 }
 
 // IsAPIClass reports whether the simple class name belongs to the modeled
-// API (target classes plus Mac).
+// API (target classes, Mac, and the extended non-target surface).
 func IsAPIClass(name string) bool {
-	return IsTarget(name) || name == Mac
+	return IsTarget(name) || name == Mac || extendedClasses[name]
 }
 
 // knownIntConstants maps qualified API constant field accesses to their

@@ -24,10 +24,12 @@ func Parse(id, description, src string) (r *rules.Rule, err error) {
 	}()
 	toks, err := lex(src)
 	if err != nil {
+		resolvePos(err, src)
 		return nil, fmt.Errorf("rule %s: %w", id, err)
 	}
 	clauses, err := parseRule(toks)
 	if err != nil {
+		resolvePos(err, src)
 		return nil, fmt.Errorf("rule %s: %w", id, err)
 	}
 	r = &rules.Rule{ID: id, Description: description, Formula: src}

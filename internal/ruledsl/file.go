@@ -7,38 +7,128 @@ import (
 	"repro/internal/rules"
 )
 
-// ParseFile compiles a rules file. The format is line-oriented:
+// PackRule is one rule line of a pack: the raw fields, where they sit in
+// the pack file, and the compiled/parsed forms. Rule and Syntax are nil
+// when Err is set. FormulaCol is the 1-based column of the formula's
+// first character on Line, letting diagnostics translate formula-relative
+// positions into pack-absolute ones.
+type PackRule struct {
+	ID          string
+	Description string
+	Formula     string
+	Line        int // 1-based line in the pack file
+	FormulaCol  int
+	Rule        *rules.Rule
+	Syntax      *Syntax
+	Err         error // parse/compile error, already line:col-resolved
+}
+
+// PackLineError is a structurally malformed pack line (wrong field count,
+// empty id) that never reached the rule parser.
+type PackLineError struct {
+	Line int
+	Msg  string
+}
+
+func (e PackLineError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Pack is the tolerant parse of one rules file: every line is accounted
+// for, broken ones included, so rulelint can report all defects in one
+// run instead of stopping at the first.
+type Pack struct {
+	Name     string // file name, used in diagnostics
+	Source   string
+	Rules    []PackRule
+	LineErrs []PackLineError
+}
+
+// ParsePack parses a rule-pack file. The format is line-oriented:
 //
 //	# comment
 //	R1 | Use SHA-256 instead of SHA-1 | MessageDigest : getInstance(X) ∧ X=SHA-1
 //
 // Blank lines and lines starting with '#' are ignored. Each rule line has
-// three '|'-separated fields: id, description, formula.
-func ParseFile(content string) ([]*rules.Rule, error) {
-	var out []*rules.Rule
-	seen := map[string]bool{}
+// three '|'-separated fields: id, description, formula. Unlike ParseFile,
+// ParsePack never fails: malformed lines land in LineErrs, uncompilable
+// formulas in PackRule.Err, and duplicate ids are kept (rulelint reports
+// them as collisions).
+func ParsePack(name, content string) *Pack {
+	p := &Pack{Name: name, Source: content}
 	for i, line := range strings.Split(content, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
 			continue
 		}
 		parts := strings.SplitN(line, "|", 3)
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("line %d: want 'id | description | formula', got %q", i+1, line)
+			p.LineErrs = append(p.LineErrs, PackLineError{
+				Line: i + 1,
+				Msg:  fmt.Sprintf("want 'id | description | formula', got %q", trimmed),
+			})
+			continue
 		}
 		id := strings.TrimSpace(parts[0])
 		if id == "" {
-			return nil, fmt.Errorf("line %d: empty rule id", i+1)
+			p.LineErrs = append(p.LineErrs, PackLineError{Line: i + 1, Msg: "empty rule id"})
+			continue
 		}
-		if seen[id] {
-			return nil, fmt.Errorf("line %d: duplicate rule id %q", i+1, id)
+		formula := strings.TrimSpace(parts[2])
+		// Column of the formula's first character: past both '|'s plus
+		// whatever leading whitespace TrimSpace removed.
+		col := len(parts[0]) + len(parts[1]) + 2 +
+			(len(parts[2]) - len(strings.TrimLeft(parts[2], " \t"))) + 1
+		pr := PackRule{
+			ID:          id,
+			Description: strings.TrimSpace(parts[1]),
+			Formula:     formula,
+			Line:        i + 1,
+			FormulaCol:  col,
 		}
-		seen[id] = true
-		r, err := Parse(id, strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2]))
+		r, err := Parse(id, pr.Description, formula)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", i+1, err)
+			pr.Err = err
+		} else {
+			pr.Rule = r
+			// A formula that compiled always re-parses; a failure here
+			// would be an internal inconsistency worth surfacing.
+			syn, serr := ParseSyntax(formula)
+			if serr != nil {
+				pr.Err = serr
+			} else {
+				pr.Syntax = syn
+			}
 		}
-		out = append(out, r)
+		p.Rules = append(p.Rules, pr)
+	}
+	return p
+}
+
+// ParseFile compiles a rules file, failing on the first defect. It is the
+// strict form of ParsePack: same format, but malformed lines, duplicate
+// ids, and uncompilable formulas are immediate errors.
+func ParseFile(content string) ([]*rules.Rule, error) {
+	p := ParsePack("", content)
+	var out []*rules.Rule
+	seen := map[string]bool{}
+	le := 0
+	for _, pr := range p.Rules {
+		// Interleave structural line errors back in line order.
+		if le < len(p.LineErrs) && p.LineErrs[le].Line < pr.Line {
+			return nil, p.LineErrs[le]
+		}
+		if seen[pr.ID] {
+			return nil, fmt.Errorf("line %d: duplicate rule id %q", pr.Line, pr.ID)
+		}
+		seen[pr.ID] = true
+		if pr.Err != nil {
+			return nil, fmt.Errorf("line %d: %w", pr.Line, pr.Err)
+		}
+		out = append(out, pr.Rule)
+	}
+	if le < len(p.LineErrs) {
+		return nil, p.LineErrs[le]
 	}
 	return out, nil
 }

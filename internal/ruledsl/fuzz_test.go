@@ -1,0 +1,71 @@
+package ruledsl
+
+import (
+	"testing"
+
+	"repro/rulepacks"
+)
+
+// FuzzRuleParse asserts the whole parse surface is total: for any input,
+// ParsePack never fails (tolerant by contract — errors land in LineErrs
+// and per-rule Err fields), and Parse/ParseSyntax return an error instead
+// of panicking. The seed corpus starts from the shipped packs so every
+// fuzz run covers the exact bytes we distribute, then adds formula-level
+// and adversarial seeds.
+func FuzzRuleParse(f *testing.F) {
+	for name, content := range rulepacks.Files() {
+		_ = name
+		f.Add(content)
+	}
+	for _, seed := range []string{
+		// Single well-formed lines, Unicode and ASCII-fallback syntax.
+		`X1 | desc | Cipher : getInstance(X) ∧ (X=AES ∨ X=AES/ECB)`,
+		`X2 | desc | Cipher : getInstance(X) /\ ~(X=DES \/ X=RC4)`,
+		`X3 | desc | PBEKeySpec : <init>(_,X,_,_) ∧ X≠⊤byte[]`,
+		`X4 | desc | KeyGenerator : init(X) ∧ X<128`,
+		`X5 | desc | Cipher : startsWith(X, AES/CBC) ∧ getInstance(X)`,
+		`X6 | desc | SecureRandom[android<4.4] : <init>()`,
+		// Pack-structure pathologies.
+		"",
+		"# only a comment\n\n#another\n",
+		"no pipes at all",
+		"id | description only",
+		"id | desc | ",
+		"id | desc | Cipher :",
+		"id | desc | : getInstance(X)",
+		"a|b|c|d|e",
+		" R7 | spaced | Cipher : getInstance(X) ∧ X=AES \n",
+		// Formula-level pathologies.
+		`B1 | x | Cipher : getInstance(X ∧ X=AES`,
+		`B2 | x | Cipher : (((getInstance(X))))`,
+		`B3 | x | Cipher : getInstance(X) ∧ X<notanumber`,
+		`B4 | x | Cipher : getInstance(X) ∧ startsWith(X)`,
+		`B5 | x | Nope : getInstance(X)`,
+		`B6 | x | Cipher : ¬¬¬¬getInstance(X)`,
+		"B7 | x | Cipher : getInstance(\x00\xff)",
+		`B8 | x | Cipher : getInstance(X) ∧ X=⊤`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		pack := ParsePack("fuzz.rules", content) // any panic fails the run
+		if pack == nil {
+			t.Fatal("ParsePack returned nil")
+		}
+		for _, pr := range pack.Rules {
+			// Tolerant-parse invariant: a pack rule either compiled or
+			// carries its error — never neither.
+			if pr.Rule == nil && pr.Err == nil {
+				t.Errorf("pack rule %q: nil Rule and nil Err", pr.ID)
+			}
+			// Re-parse each formula through the strict entry points too.
+			if _, err := ParseSyntax(pr.Formula); err == nil {
+				if _, err := Parse(pr.ID, pr.Description, pr.Formula); err != nil {
+					// Syntax-valid but uncompilable formulas are fine
+					// (e.g. unknown classes); only panics are failures.
+					_ = err
+				}
+			}
+		}
+	})
+}

@@ -118,13 +118,13 @@ func lex(src string) ([]token, error) {
 			}
 		case r == '&':
 			if !strings.HasPrefix(src[i:], "&&") {
-				return nil, fmt.Errorf("pos %d: single '&'", i)
+				return nil, perr(i, "single '&'")
 			}
 			emit(tAnd, "", start)
 			i += 2
 		case r == '|':
 			if !strings.HasPrefix(src[i:], "||") {
-				return nil, fmt.Errorf("pos %d: single '|'", i)
+				return nil, perr(i, "single '|'")
 			}
 			emit(tOr, "", start)
 			i += 2
@@ -171,7 +171,7 @@ func lex(src string) ([]token, error) {
 				break
 			}
 			if j == i {
-				return nil, fmt.Errorf("pos %d: unexpected character %q", i, r)
+				return nil, perr(i, "unexpected character %q", r)
 			}
 			text := src[i:j]
 			i = j

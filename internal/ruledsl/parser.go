@@ -1,7 +1,5 @@
 package ruledsl
 
-import "fmt"
-
 // Formula AST.
 type node interface{ nodeTag() }
 
@@ -15,12 +13,14 @@ type callNode struct {
 	method  string
 	args    []argPat
 	hasArgs bool
+	pos     int
 }
 
 // argPat is one argument pattern.
 type argPat struct {
 	kind argKind
 	name string // variable name or literal text
+	pos  int
 }
 
 type argKind int
@@ -36,12 +36,14 @@ type cmpNode struct {
 	varName string
 	op      tokKind // tEq, tNe, tLt, tLe, tGt, tGe
 	value   string
+	pos     int
 }
 
 // startsNode is startsWith(X, prefix).
 type startsNode struct {
 	varName string
 	value   string
+	pos     int
 }
 
 // ctxNode tests project context: LPRNG, ANDROID, or a MIN_SDK_VERSION
@@ -50,6 +52,7 @@ type ctxNode struct {
 	name string
 	op   tokKind // tEq etc.; 0 for bare flags
 	num  int64
+	pos  int
 }
 
 func (orNode) nodeTag()     {}
@@ -62,9 +65,10 @@ func (ctxNode) nodeTag()    {}
 
 // clauseAST is one Class:formula conjunct of a (possibly composite) rule.
 type clauseAST struct {
-	class   string
-	negated bool
-	formula node
+	class    string
+	classPos int
+	negated  bool
+	formula  node
 }
 
 type parser struct {
@@ -77,8 +81,7 @@ func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 
 func (p *parser) expect(k tokKind) (token, error) {
 	if p.cur().kind != k {
-		return token{}, fmt.Errorf("pos %d: expected %v, found %v",
-			p.cur().pos, token{kind: k}, p.cur())
+		return token{}, perr(p.cur().pos, "expected %v, found %v", token{kind: k}, p.cur())
 	}
 	return p.next(), nil
 }
@@ -99,7 +102,7 @@ func parseRule(toks []token) ([]clauseAST, error) {
 		p.next()
 	}
 	if p.cur().kind != tEOF {
-		return nil, fmt.Errorf("pos %d: trailing input starting at %v", p.cur().pos, p.cur())
+		return nil, perr(p.cur().pos, "trailing input starting at %v", p.cur())
 	}
 	return clauses, nil
 }
@@ -156,7 +159,7 @@ func (p *parser) parseSimpleClause() (clauseAST, error) {
 	if err != nil {
 		return clauseAST{}, err
 	}
-	return clauseAST{class: cls.text, formula: f}, nil
+	return clauseAST{class: cls.text, classPos: cls.pos, formula: f}, nil
 }
 
 func (p *parser) parseOr() (node, error) {
@@ -252,13 +255,13 @@ func (p *parser) parseAtom() (node, error) {
 		case tEq, tNe, tLt, tLe, tGt, tGe:
 			p.next()
 		default:
-			return nil, fmt.Errorf("pos %d: expected comparison after variable %s", p.cur().pos, v.text)
+			return nil, perr(p.cur().pos, "expected comparison after variable %s", v.text)
 		}
 		val, err := p.parseLiteral()
 		if err != nil {
 			return nil, err
 		}
-		return cmpNode{varName: v.text, op: op, value: val}, nil
+		return cmpNode{varName: v.text, op: op, value: val, pos: v.pos}, nil
 	case tIdent:
 		id := p.next()
 		switch id.text {
@@ -280,20 +283,20 @@ func (p *parser) parseAtom() (node, error) {
 			if _, err := p.expect(tRParen); err != nil {
 				return nil, err
 			}
-			return startsNode{varName: v.text, value: val}, nil
+			return startsNode{varName: v.text, value: val, pos: id.pos}, nil
 		case "LPRNG", "ANDROID", "HAS_LPRNG":
 			name := id.text
 			if name == "HAS_LPRNG" {
 				name = "LPRNG"
 			}
-			return ctxNode{name: name}, nil
+			return ctxNode{name: name, pos: id.pos}, nil
 		case "MIN_SDK_VERSION":
 			op := p.cur().kind
 			switch op {
 			case tEq, tNe, tLt, tLe, tGt, tGe:
 				p.next()
 			default:
-				return nil, fmt.Errorf("pos %d: expected comparison after MIN_SDK_VERSION", p.cur().pos)
+				return nil, perr(p.cur().pos, "expected comparison after MIN_SDK_VERSION")
 			}
 			val, err := p.parseLiteral()
 			if err != nil {
@@ -302,28 +305,29 @@ func (p *parser) parseAtom() (node, error) {
 			var num int64
 			for _, r := range val {
 				if r < '0' || r > '9' {
-					return nil, fmt.Errorf("MIN_SDK_VERSION compared to non-number %q", val)
+					return nil, perr(id.pos, "MIN_SDK_VERSION compared to non-number %q", val)
 				}
 				num = num*10 + int64(r-'0')
 			}
-			return ctxNode{name: "MIN_SDK_VERSION", op: op, num: num}, nil
+			return ctxNode{name: "MIN_SDK_VERSION", op: op, num: num, pos: id.pos}, nil
 		}
 		// Method call atom.
-		call := callNode{method: id.text}
+		call := callNode{method: id.text, pos: id.pos}
 		if p.cur().kind == tLParen {
 			p.next()
 			call.hasArgs = true
 			for p.cur().kind != tRParen {
 				switch p.cur().kind {
 				case tWildcard:
-					p.next()
-					call.args = append(call.args, argPat{kind: argAny})
+					call.args = append(call.args, argPat{kind: argAny, pos: p.next().pos})
 				case tVar:
-					call.args = append(call.args, argPat{kind: argVar, name: p.next().text})
+					t := p.next()
+					call.args = append(call.args, argPat{kind: argVar, name: t.text, pos: t.pos})
 				case tIdent:
-					call.args = append(call.args, argPat{kind: argLit, name: p.next().text})
+					t := p.next()
+					call.args = append(call.args, argPat{kind: argLit, name: t.text, pos: t.pos})
 				default:
-					return nil, fmt.Errorf("pos %d: bad argument pattern %v", p.cur().pos, p.cur())
+					return nil, perr(p.cur().pos, "bad argument pattern %v", p.cur())
 				}
 				if p.cur().kind == tComma {
 					p.next()
@@ -337,13 +341,13 @@ func (p *parser) parseAtom() (node, error) {
 		}
 		return call, nil
 	}
-	return nil, fmt.Errorf("pos %d: unexpected %v in formula", p.cur().pos, p.cur())
+	return nil, perr(p.cur().pos, "unexpected %v in formula", p.cur())
 }
 
 func (p *parser) parseLiteral() (string, error) {
 	t := p.cur()
 	if t.kind != tIdent && t.kind != tVar {
-		return "", fmt.Errorf("pos %d: expected literal, found %v", t.pos, t)
+		return "", perr(t.pos, "expected literal, found %v", t)
 	}
 	p.next()
 	return t.text, nil

@@ -1,0 +1,285 @@
+package ruledsl
+
+import "fmt"
+
+// Pos locates a token within a rule source: the byte offset plus the
+// 1-based line:col it renders as. Rule formulas are usually one line, so
+// Line is almost always 1 and Col is the interesting coordinate; pack
+// loaders translate formula-relative positions into pack-absolute ones.
+type Pos struct {
+	Offset int `json:"offset"`
+	Line   int `json:"line"`
+	Col    int `json:"col"`
+}
+
+// PosAt computes the 1-based line:col of a byte offset in src. Columns
+// count runes, not bytes, so ∧/∨/¬ advance by one. Offsets past the end
+// clamp to the position one past the last character.
+func PosAt(src string, offset int) Pos {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col := 1, 1
+	for _, r := range src[:offset] {
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Offset: offset, Line: line, Col: col}
+}
+
+// ParseError is a lexer/parser error carrying the offending token's
+// position. Parse fills Line/Col from the source so the rendered form is
+// "line L:C: message" — position-accurate for editors and for rulelint
+// diagnostics — instead of a bare byte offset.
+type ParseError struct {
+	Offset    int
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// perr builds a ParseError at a byte offset; Parse resolves Line/Col.
+func perr(offset int, format string, args ...any) *ParseError {
+	return &ParseError{Offset: offset, Msg: fmt.Sprintf(format, args...)}
+}
+
+// resolvePos fills the line:col of a ParseError (possibly wrapped) from
+// the rule source it was produced over.
+func resolvePos(err error, src string) {
+	var pe *ParseError
+	if asParseError(err, &pe) {
+		p := PosAt(src, pe.Offset)
+		pe.Line, pe.Col = p.Line, p.Col
+	}
+}
+
+// asParseError is errors.As without the import cycle risk of bringing
+// errors into every call site; kept trivial on purpose.
+func asParseError(err error, target **ParseError) bool {
+	for err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Exported, position-annotated syntax
+// ---------------------------------------------------------------------------
+
+// Syntax is the parsed form of one rule: its clause list with every atom
+// position-annotated. It is the surface rulelint analyzes — the compiled
+// rules.Rule only exposes opaque predicate closures.
+type Syntax struct {
+	Source  string
+	Clauses []ClauseSyntax
+}
+
+// ClauseSyntax is one Class:formula conjunct.
+type ClauseSyntax struct {
+	Class   string
+	Pos     Pos // position of the class identifier
+	Negated bool
+	Formula Formula
+}
+
+// Formula is a node of a clause formula tree.
+type Formula interface{ formulaTag() }
+
+// AndExpr is a conjunction of formulas.
+type AndExpr struct{ Kids []Formula }
+
+// OrExpr is a disjunction of formulas.
+type OrExpr struct{ Kids []Formula }
+
+// NotExpr is a negated formula.
+type NotExpr struct{ Kid Formula }
+
+// CallAtom matches a usage event by method name; Args constrain arity and
+// argument values when HasArgs is set.
+type CallAtom struct {
+	Method  string
+	Pos     Pos
+	HasArgs bool
+	Args    []ArgPattern
+}
+
+// ArgPatKind classifies one argument pattern.
+type ArgPatKind int
+
+// The three argument-pattern shapes.
+const (
+	ArgAny ArgPatKind = iota // _
+	ArgVar                   // X — binds the argument's abstract value
+	ArgLit                   // literal constant, e.g. AES or 1000
+)
+
+// ArgPattern is one argument pattern of a call atom.
+type ArgPattern struct {
+	Kind ArgPatKind
+	Name string // variable name or literal text
+	Pos  Pos
+}
+
+// CmpOp is a comparison operator of the rule language.
+type CmpOp int
+
+// The six comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "≠", "<", "≤", ">", "≥"}[op]
+}
+
+// IsOrdered reports whether the operator is a numeric ordering (<, ≤, >, ≥)
+// rather than an (in)equality.
+func (op CmpOp) IsOrdered() bool { return op >= OpLt }
+
+// CmpAtom compares a bound variable against a literal.
+type CmpAtom struct {
+	Var   string
+	Op    CmpOp
+	Value string
+	Pos   Pos
+}
+
+// StartsAtom is startsWith(Var, prefix).
+type StartsAtom struct {
+	Var   string
+	Value string
+	Pos   Pos
+}
+
+// CtxAtom tests project context: LPRNG, ANDROID, or a MIN_SDK_VERSION
+// comparison (HasOp distinguishes the bare flags).
+type CtxAtom struct {
+	Name  string
+	Op    CmpOp
+	Num   int64
+	HasOp bool
+	Pos   Pos
+}
+
+func (AndExpr) formulaTag()    {}
+func (OrExpr) formulaTag()     {}
+func (NotExpr) formulaTag()    {}
+func (CallAtom) formulaTag()   {}
+func (CmpAtom) formulaTag()    {}
+func (StartsAtom) formulaTag() {}
+func (CtxAtom) formulaTag()    {}
+
+// ParseSyntax parses a rule source into its exported syntax tree without
+// compiling it. The same grammar as Parse; errors are *ParseError with
+// line:col resolved.
+func ParseSyntax(src string) (s *Syntax, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("internal error parsing rule: %v", p)
+		}
+	}()
+	toks, err := lex(src)
+	if err != nil {
+		resolvePos(err, src)
+		return nil, err
+	}
+	clauses, err := parseRule(toks)
+	if err != nil {
+		resolvePos(err, src)
+		return nil, err
+	}
+	s = &Syntax{Source: src}
+	for _, c := range clauses {
+		s.Clauses = append(s.Clauses, ClauseSyntax{
+			Class:   c.class,
+			Pos:     PosAt(src, c.classPos),
+			Negated: c.negated,
+			Formula: exportFormula(c.formula, src),
+		})
+	}
+	return s, nil
+}
+
+func exportFormula(n node, src string) Formula {
+	switch x := n.(type) {
+	case andNode:
+		e := AndExpr{Kids: make([]Formula, len(x.kids))}
+		for i, k := range x.kids {
+			e.Kids[i] = exportFormula(k, src)
+		}
+		return e
+	case orNode:
+		e := OrExpr{Kids: make([]Formula, len(x.kids))}
+		for i, k := range x.kids {
+			e.Kids[i] = exportFormula(k, src)
+		}
+		return e
+	case notNode:
+		return NotExpr{Kid: exportFormula(x.kid, src)}
+	case callNode:
+		e := CallAtom{Method: x.method, Pos: PosAt(src, x.pos), HasArgs: x.hasArgs}
+		for _, a := range x.args {
+			e.Args = append(e.Args, ArgPattern{Kind: ArgPatKind(a.kind), Name: a.name, Pos: PosAt(src, a.pos)})
+		}
+		return e
+	case cmpNode:
+		return CmpAtom{Var: x.varName, Op: cmpOpOf(x.op), Value: x.value, Pos: PosAt(src, x.pos)}
+	case startsNode:
+		return StartsAtom{Var: x.varName, Value: x.value, Pos: PosAt(src, x.pos)}
+	case ctxNode:
+		e := CtxAtom{Name: x.name, Num: x.num, Pos: PosAt(src, x.pos)}
+		if x.op != 0 {
+			e.Op, e.HasOp = cmpOpOf(x.op), true
+		}
+		return e
+	}
+	return nil
+}
+
+// cmpOpOf maps an operator token to its exported CmpOp.
+func cmpOpOf(k tokKind) CmpOp {
+	switch k {
+	case tEq:
+		return OpEq
+	case tNe:
+		return OpNe
+	case tLt:
+		return OpLt
+	case tLe:
+		return OpLe
+	case tGt:
+		return OpGt
+	case tGe:
+		return OpGe
+	}
+	return OpEq
+}
+
+// NormLiteral canonicalizes an algorithm-ish literal exactly the way rule
+// evaluation does: upper-case with dashes removed. Exported for rulelint,
+// whose satisfiability reasoning must agree with the evaluator.
+func NormLiteral(s string) string { return norm(s) }
+
+// IsTopLit reports whether the literal uses the ⊤-notation of Figure 3
+// (⊤byte[], ⊤int, ...), which tests constancy rather than a value.
+func IsTopLit(lit string) bool { return isTopLiteral(lit) }

@@ -1,0 +1,134 @@
+package ruledsl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestParseErrorRendering pins the rendered line:col form of parse
+// errors — the contract rulelint diagnostics and CLI messages rely on.
+func TestParseErrorRendering(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"Cipher : getInstance(X) ∧ X=", "line 1:29: expected literal, found EOF"},
+		{"Cipher : getInstance(X) & X=AES", "line 1:25: single '&'"},
+		{"Cipher : getInstance(X) | X=AES", "line 1:25: single '|'"},
+		{"Cipher ; getInstance(X)", "line 1:8: unexpected character ';'"},
+		{"Cipher : getInstance(X) X=AES", "line 1:25: trailing input starting at \"X\""},
+		{"Cipher :\n  getInstance(X) ∧\n  X=$", "line 3:5: unexpected character '$'"},
+	}
+	for _, c := range cases {
+		_, err := ParseSyntax(c.src)
+		if err == nil {
+			t.Errorf("ParseSyntax(%q): want error, got none", c.src)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("ParseSyntax(%q) error = %q, want %q", c.src, err.Error(), c.want)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseSyntax(%q): error is not a *ParseError", c.src)
+		}
+		// The compile path wraps the same error with the rule id.
+		_, err = Parse("T1", "test", c.src)
+		if err == nil || err.Error() != "rule T1: "+c.want {
+			t.Errorf("Parse(%q) error = %v, want %q", c.src, err, "rule T1: "+c.want)
+		}
+	}
+}
+
+func TestPosAt(t *testing.T) {
+	src := "ab\ncd\ne"
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, {3, 2, 1}, {5, 2, 3}, {6, 3, 1}, {7, 3, 2}, {99, 3, 2},
+	}
+	for _, c := range cases {
+		got := PosAt(src, c.off)
+		if got.Line != c.line || got.Col != c.col {
+			t.Errorf("PosAt(%d) = %d:%d, want %d:%d", c.off, got.Line, got.Col, c.line, c.col)
+		}
+	}
+}
+
+func TestParseSyntaxShape(t *testing.T) {
+	syn, err := ParseSyntax("(Cipher : getInstance(X) ∧ startsWith(X,AES)) ∧ ¬(Mac : init(_,1000) ∨ MIN_SDK_VERSION<19)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syn.Clauses) != 2 {
+		t.Fatalf("want 2 clauses, got %d", len(syn.Clauses))
+	}
+	c0 := syn.Clauses[0]
+	if c0.Class != "Cipher" || c0.Negated || c0.Pos.Col != 2 {
+		t.Errorf("clause 0 = %+v", c0)
+	}
+	and, ok := c0.Formula.(AndExpr)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("clause 0 formula = %#v", c0.Formula)
+	}
+	call, ok := and.Kids[0].(CallAtom)
+	if !ok || call.Method != "getInstance" || !call.HasArgs || len(call.Args) != 1 {
+		t.Fatalf("first atom = %#v", and.Kids[0])
+	}
+	if call.Args[0].Kind != ArgVar || call.Args[0].Name != "X" {
+		t.Errorf("arg = %+v", call.Args[0])
+	}
+	sw, ok := and.Kids[1].(StartsAtom)
+	if !ok || sw.Var != "X" || sw.Value != "AES" {
+		t.Fatalf("second atom = %#v", and.Kids[1])
+	}
+	c1 := syn.Clauses[1]
+	if c1.Class != "Mac" || !c1.Negated {
+		t.Errorf("clause 1 = %+v", c1)
+	}
+	or, ok := c1.Formula.(OrExpr)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("clause 1 formula = %#v", c1.Formula)
+	}
+	initCall, ok := or.Kids[0].(CallAtom)
+	if !ok || initCall.Method != "init" ||
+		!reflect.DeepEqual([]ArgPatKind{initCall.Args[0].Kind, initCall.Args[1].Kind}, []ArgPatKind{ArgAny, ArgLit}) {
+		t.Fatalf("init atom = %#v", or.Kids[0])
+	}
+	ctx, ok := or.Kids[1].(CtxAtom)
+	if !ok || ctx.Name != "MIN_SDK_VERSION" || !ctx.HasOp || ctx.Op != OpLt || ctx.Num != 19 {
+		t.Fatalf("ctx atom = %#v", or.Kids[1])
+	}
+}
+
+func TestParsePackTolerant(t *testing.T) {
+	pack := ParsePack("p.rules", `# header
+T1 | first | Cipher : getInstance(X) ∧ X=DES
+broken line without pipes
+T2 | bad formula | Cipher : getInstance(X) ∧ X=
+T1 | duplicate id | Mac : getInstance(X)
+`)
+	if len(pack.LineErrs) != 1 || pack.LineErrs[0].Line != 3 {
+		t.Fatalf("LineErrs = %+v", pack.LineErrs)
+	}
+	if len(pack.Rules) != 3 {
+		t.Fatalf("want 3 rules (duplicates kept), got %d", len(pack.Rules))
+	}
+	if pack.Rules[0].Err != nil || pack.Rules[0].Rule == nil || pack.Rules[0].Syntax == nil {
+		t.Errorf("rule 0 should compile: %+v", pack.Rules[0])
+	}
+	if pack.Rules[0].Line != 2 {
+		t.Errorf("rule 0 line = %d, want 2", pack.Rules[0].Line)
+	}
+	if pack.Rules[1].Err == nil {
+		t.Error("rule 1 should fail to compile")
+	}
+	if pack.Rules[2].ID != "T1" || pack.Rules[2].Line != 5 {
+		t.Errorf("rule 2 = %+v", pack.Rules[2])
+	}
+	if got := pack.Rules[0].FormulaCol; got != 14 {
+		t.Errorf("rule 0 FormulaCol = %d, want 14", got)
+	}
+}

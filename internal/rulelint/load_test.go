@@ -1,0 +1,130 @@
+package rulelint
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ruledsl"
+	"repro/internal/rules"
+)
+
+func packOf(t *testing.T, name, content string) *ruledsl.Pack {
+	t.Helper()
+	return ruledsl.ParsePack(name, content)
+}
+
+// TestBuiltinIDCollisions pins the reserved-ID universe: a pack that
+// redefines ANY built-in (R1–R13) or reserved CryptoLint alias (CL1–CL5)
+// ID is an RL010 error finding, every time.
+func TestBuiltinIDCollisions(t *testing.T) {
+	var ids []string
+	for _, r := range rules.All() {
+		ids = append(ids, r.ID)
+	}
+	for _, r := range rules.CryptoLint() {
+		ids = append(ids, r.ID)
+	}
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 reserved IDs, got %d", len(ids))
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			content := fmt.Sprintf("%s | shadow | Cipher : getInstance(X) ∧ X=AES/ECB", id)
+			report := Lint([]*ruledsl.Pack{packOf(t, "shadow.rules", content)}, Options{
+				Builtins: rules.All(),
+				Reserved: rules.CryptoLint(),
+			})
+			var hit *Diag
+			for i, d := range report.Diags {
+				if d.Code == CodeIDCollision && d.RuleID == id {
+					hit = &report.Diags[i]
+				}
+			}
+			if hit == nil {
+				t.Fatalf("redefining %s produced no RL010 finding:\n%s", id, report.Render())
+			}
+			if hit.Severity != SevError {
+				t.Fatalf("RL010 for %s: got severity %s, want error", id, hit.Severity)
+			}
+		})
+	}
+}
+
+// TestLaxPrefersBuiltin pins the -rules-lax merge order: when a pack rule
+// collides with a built-in or reserved ID, MergeActive keeps the built-in
+// (pointer-identical to the registry's rule) and never the pack's.
+func TestLaxPrefersBuiltin(t *testing.T) {
+	pack := packOf(t, "shadow.rules",
+		"R7 | shadow | Cipher : getInstance(X) ∧ X=DES\n"+
+			"CL1 | shadow | Cipher : getInstance(X) ∧ X=DES\n"+
+			"P900 | fresh | KeyGenerator : init(X) ∧ X<64\n")
+	active := MergeActive(rules.All(), rules.CryptoLint(), []*ruledsl.Pack{pack})
+	byID := map[string]*rules.Rule{}
+	for _, r := range active {
+		if byID[r.ID] != nil {
+			t.Fatalf("duplicate ID %s in merged set", r.ID)
+		}
+		byID[r.ID] = r
+	}
+	if byID["R7"] != rules.R7 {
+		t.Errorf("R7 in merged set is not the built-in (description %q)", byID["R7"].Description)
+	}
+	// Reserved aliases keep their ID claimed without joining the set.
+	if byID["CL1"] != nil {
+		t.Errorf("CL1 joined the merged set; reserved aliases must only block the ID")
+	}
+	if byID["P900"] == nil || byID["P900"].Description != "fresh" {
+		t.Errorf("non-colliding pack rule P900 missing or wrong: %+v", byID["P900"])
+	}
+	if want := len(rules.All()) + 1; len(active) != want {
+		t.Errorf("merged set size: got %d, want %d", len(active), want)
+	}
+}
+
+// TestFirstPackWins pins cross-pack determinism: when two packs define the
+// same ID, the earlier pack (command-line order) wins, deterministically.
+func TestFirstPackWins(t *testing.T) {
+	a := packOf(t, "a.rules", "P900 | from-a | KeyGenerator : init(X) ∧ X<64")
+	b := packOf(t, "b.rules", "P900 | from-b | KeyGenerator : init(X) ∧ X<96")
+	active := MergeActive(rules.All(), rules.CryptoLint(), []*ruledsl.Pack{a, b})
+	var got *rules.Rule
+	for _, r := range active {
+		if r.ID == "P900" {
+			if got != nil {
+				t.Fatal("P900 appears twice in merged set")
+			}
+			got = r
+		}
+	}
+	if got == nil || got.Description != "from-a" {
+		t.Fatalf("cross-pack collision: got %+v, want the first pack's rule", got)
+	}
+	// And the collision is still an error finding, lax or not.
+	report := Lint([]*ruledsl.Pack{a, b}, Options{Builtins: rules.All(), Reserved: rules.CryptoLint()})
+	found := false
+	for _, d := range report.Diags {
+		if d.Code == CodeIDCollision && d.Pack == "b.rules" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross-pack duplicate produced no RL010 at the later pack:\n%s", report.Render())
+	}
+}
+
+// TestUncompiledRulesSkipped: a pack rule that fails to compile never
+// reaches the merged set (the -rules-lax "load what compiles" contract).
+func TestUncompiledRulesSkipped(t *testing.T) {
+	pack := packOf(t, "mixed.rules",
+		"P900 | ok | KeyGenerator : init(X) ∧ X<64\n"+
+			"P901 | broken | KeyGenerator : init(X ∧\n")
+	active := MergeActive(rules.All(), rules.CryptoLint(), []*ruledsl.Pack{pack})
+	for _, r := range active {
+		if r.ID == "P901" {
+			t.Fatal("uncompiled rule P901 reached the merged set")
+		}
+	}
+	if want := len(rules.All()) + 1; len(active) != want {
+		t.Fatalf("merged set size: got %d, want %d", len(active), want)
+	}
+}

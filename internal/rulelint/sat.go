@@ -1,0 +1,332 @@
+package rulelint
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/cryptoapi"
+	"repro/internal/ruledsl"
+)
+
+// Pass 2: satisfiability. Each clause formula is expanded to disjunctive
+// normal form over its comparison/startsWith literals (call and context
+// atoms are abstracted to ⊤ — satisfiability of the constraint part is
+// what is decidable statically). Each disjunct's conjunction is fed to an
+// abstract evaluator that tracks, per variable, the base-domain facts the
+// constraints pin: an exact string/symbol, excluded values, a numeric
+// interval, and required prefixes. An empty meet is a contradiction.
+
+// cLit is one constraint literal of a DNF disjunct.
+type cLit struct {
+	isStarts bool
+	negated  bool // only for startsWith under ¬
+	v        ruledsl.CmpAtom
+	s        ruledsl.StartsAtom
+}
+
+func (c cLit) String() string {
+	if c.isStarts {
+		if c.negated {
+			return fmt.Sprintf("¬startsWith(%s,%s)", c.s.Var, c.s.Value)
+		}
+		return fmt.Sprintf("startsWith(%s,%s)", c.s.Var, c.s.Value)
+	}
+	return fmt.Sprintf("%s%s%s", c.v.Var, c.v.Op, c.v.Value)
+}
+
+// lintSat runs the satisfiability pass over one rule.
+func (l *linter) lintSat(p *ruledsl.Pack, pr *ruledsl.PackRule) {
+	for _, cl := range pr.Syntax.Clauses {
+		if cl.Negated {
+			continue // the trigger is the positive part
+		}
+		// RL203: prefix tests no modeled algorithm string can pass are
+		// suspicious whatever the rest of the formula does.
+		walkFormula(cl.Formula, func(f ruledsl.Formula) {
+			if s, ok := f.(ruledsl.StartsAtom); ok {
+				if !cryptoapi.SomeKnownStringHasPrefix(s.Value) {
+					l.add(p, pr, s.Pos, CodeBadPrefix, SevWarn,
+						"prefix %q matches no modeled algorithm string", s.Value)
+				}
+			}
+		})
+
+		disjuncts := dnf(cl.Formula, false)
+		if len(disjuncts) == 0 {
+			continue
+		}
+		type deadDisjunct struct {
+			conj   []cLit
+			reason satReason
+		}
+		var dead []deadDisjunct
+		for _, conj := range disjuncts {
+			if r := unsat(conj); r.why != "" {
+				dead = append(dead, deadDisjunct{conj, r})
+			}
+		}
+		if len(dead) == len(disjuncts) {
+			// Whole clause unsatisfiable: error. Empty numeric ranges get
+			// their own code — they are overwhelmingly threshold typos.
+			r := dead[0].reason
+			code := CodeContradict
+			if r.emptyRange {
+				code = CodeEmptyRange
+			}
+			l.add(p, pr, r.pos, code, SevError,
+				"clause %s can never match: %s", cl.Class, r.why)
+			continue
+		}
+		for _, d := range dead {
+			l.add(p, pr, d.reason.pos, CodeDeadBranch, SevWarn,
+				"disjunct {%s} can never match: %s", renderConj(d.conj), d.reason.why)
+		}
+	}
+}
+
+func renderConj(conj []cLit) string {
+	parts := make([]string, len(conj))
+	for i, c := range conj {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// dnf expands a formula into disjuncts of constraint literals. Call and
+// context atoms contribute no constraints (they are ⊤ for this analysis);
+// negation distributes by De Morgan and flips comparison operators.
+func dnf(f ruledsl.Formula, neg bool) [][]cLit {
+	switch x := f.(type) {
+	case ruledsl.AndExpr:
+		if neg { // ¬(a ∧ b) = ¬a ∨ ¬b
+			var out [][]cLit
+			for _, k := range x.Kids {
+				out = append(out, dnf(k, true)...)
+			}
+			return out
+		}
+		out := [][]cLit{{}}
+		for _, k := range x.Kids {
+			out = cross(out, dnf(k, false))
+		}
+		return out
+	case ruledsl.OrExpr:
+		if neg { // ¬(a ∨ b) = ¬a ∧ ¬b
+			out := [][]cLit{{}}
+			for _, k := range x.Kids {
+				out = cross(out, dnf(k, true))
+			}
+			return out
+		}
+		var out [][]cLit
+		for _, k := range x.Kids {
+			out = append(out, dnf(k, false)...)
+		}
+		return out
+	case ruledsl.NotExpr:
+		return dnf(x.Kid, !neg)
+	case ruledsl.CmpAtom:
+		if neg {
+			x = negateCmp(x)
+		}
+		return [][]cLit{{{v: x}}}
+	case ruledsl.StartsAtom:
+		return [][]cLit{{{isStarts: true, negated: neg, s: x}}}
+	}
+	// CallAtom, CtxAtom, nil: unconstrained.
+	return [][]cLit{{}}
+}
+
+func cross(a, b [][]cLit) [][]cLit {
+	out := make([][]cLit, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			conj := make([]cLit, 0, len(x)+len(y))
+			conj = append(conj, x...)
+			conj = append(conj, y...)
+			out = append(out, conj)
+		}
+	}
+	return out
+}
+
+func negateCmp(c ruledsl.CmpAtom) ruledsl.CmpAtom {
+	switch c.Op {
+	case ruledsl.OpEq:
+		c.Op = ruledsl.OpNe
+	case ruledsl.OpNe:
+		c.Op = ruledsl.OpEq
+	case ruledsl.OpLt:
+		c.Op = ruledsl.OpGe
+	case ruledsl.OpLe:
+		c.Op = ruledsl.OpGt
+	case ruledsl.OpGt:
+		c.Op = ruledsl.OpLe
+	case ruledsl.OpGe:
+		c.Op = ruledsl.OpLt
+	}
+	return c
+}
+
+// satReason explains why a conjunction is unsatisfiable.
+type satReason struct {
+	why        string
+	pos        ruledsl.Pos
+	emptyRange bool
+}
+
+// varFacts is the abstract value of one variable under a conjunction: the
+// meet of everything the constraints assert, over the base domains the
+// interpreter uses (string/symbol constants and integer constants).
+type varFacts struct {
+	eq       string // normalized pinned value, "" if unpinned
+	eqRaw    string
+	eqPos    ruledsl.Pos
+	ne       map[string]bool // normalized excluded values
+	lo, hi   int64           // inclusive numeric interval
+	loSet    bool
+	hiSet    bool
+	rangePos ruledsl.Pos
+	prefixes []ruledsl.StartsAtom
+}
+
+// unsat evaluates a conjunction of constraint literals, returning a
+// non-empty reason when the meet is empty.
+func unsat(conj []cLit) satReason {
+	vars := map[string]*varFacts{}
+	get := func(name string) *varFacts {
+		vf := vars[name]
+		if vf == nil {
+			vf = &varFacts{lo: math.MinInt64, hi: math.MaxInt64, ne: map[string]bool{}}
+			vars[name] = vf
+		}
+		return vf
+	}
+
+	for _, c := range conj {
+		if c.isStarts {
+			if !c.negated {
+				get(c.s.Var).prefixes = append(get(c.s.Var).prefixes, c.s)
+			}
+			// ¬startsWith excludes a set we cannot enumerate; ignored.
+			continue
+		}
+		a := c.v
+		if ruledsl.IsTopLit(a.Value) {
+			continue // constancy tests never conflict statically
+		}
+		vf := get(a.Var)
+		nv := ruledsl.NormLiteral(a.Value)
+		switch a.Op {
+		case ruledsl.OpEq:
+			if vf.eq != "" && vf.eq != nv {
+				return satReason{
+					why: fmt.Sprintf("%s=%s contradicts %s=%s", a.Var, a.Value, a.Var, vf.eqRaw),
+					pos: a.Pos,
+				}
+			}
+			vf.eq, vf.eqRaw, vf.eqPos = nv, a.Value, a.Pos
+		case ruledsl.OpNe:
+			vf.ne[nv] = true
+		default: // ordered
+			n, err := strconv.ParseInt(a.Value, 10, 64)
+			if err != nil {
+				continue // RL104 already reported non-numeric ordered cmp
+			}
+			switch a.Op {
+			case ruledsl.OpLt:
+				vf.narrowHi(n-1, a.Pos)
+			case ruledsl.OpLe:
+				vf.narrowHi(n, a.Pos)
+			case ruledsl.OpGt:
+				vf.narrowLo(n+1, a.Pos)
+			case ruledsl.OpGe:
+				vf.narrowLo(n, a.Pos)
+			}
+		}
+	}
+
+	for name, vf := range vars {
+		if vf.lo > vf.hi {
+			return satReason{
+				why:        fmt.Sprintf("numeric range for %s is empty (%s)", name, vf.rangeString(name)),
+				pos:        vf.rangePos,
+				emptyRange: true,
+			}
+		}
+		if vf.eq == "" {
+			continue
+		}
+		if vf.ne[vf.eq] {
+			return satReason{
+				why: fmt.Sprintf("%s=%s contradicts %s≠%s", name, vf.eqRaw, name, vf.eqRaw),
+				pos: vf.eqPos,
+			}
+		}
+		if n, err := strconv.ParseInt(vf.eqRaw, 10, 64); err == nil {
+			if (vf.loSet && n < vf.lo) || (vf.hiSet && n > vf.hi) {
+				return satReason{
+					why: fmt.Sprintf("%s=%s is outside the range %s", name, vf.eqRaw, vf.rangeString(name)),
+					pos: vf.eqPos,
+				}
+			}
+		} else if vf.loSet || vf.hiSet {
+			// Ordered constraints require an integer constant at eval
+			// time; pinning the variable to a non-numeric value while
+			// also range-constraining it can never both hold.
+			return satReason{
+				why: fmt.Sprintf("%s=%s cannot satisfy the numeric constraint %s", name, vf.eqRaw, vf.rangeString(name)),
+				pos: vf.eqPos,
+			}
+		}
+		for _, s := range vf.prefixes {
+			if !strings.HasPrefix(vf.eq, ruledsl.NormLiteral(s.Value)) {
+				return satReason{
+					why: fmt.Sprintf("%s=%s does not start with %q", name, vf.eqRaw, s.Value),
+					pos: s.Pos,
+				}
+			}
+		}
+	}
+	return satReason{}
+}
+
+func (vf *varFacts) narrowHi(n int64, pos ruledsl.Pos) {
+	if n < vf.hi {
+		vf.hi = n
+		vf.hiSet = true
+		vf.rangePos = pos
+	} else if !vf.hiSet {
+		vf.hiSet = true
+		if vf.rangePos == (ruledsl.Pos{}) {
+			vf.rangePos = pos
+		}
+	}
+}
+
+func (vf *varFacts) narrowLo(n int64, pos ruledsl.Pos) {
+	if n > vf.lo {
+		vf.lo = n
+		vf.loSet = true
+		vf.rangePos = pos
+	} else if !vf.loSet {
+		vf.loSet = true
+		if vf.rangePos == (ruledsl.Pos{}) {
+			vf.rangePos = pos
+		}
+	}
+}
+
+func (vf *varFacts) rangeString(name string) string {
+	switch {
+	case vf.loSet && vf.hiSet:
+		return fmt.Sprintf("%d ≤ %s ≤ %d", vf.lo, name, vf.hi)
+	case vf.loSet:
+		return fmt.Sprintf("%s ≥ %d", name, vf.lo)
+	case vf.hiSet:
+		return fmt.Sprintf("%s ≤ %d", name, vf.hi)
+	}
+	return "unconstrained"
+}

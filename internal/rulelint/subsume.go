@@ -1,0 +1,339 @@
+package rulelint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ruledsl"
+	"repro/internal/rules"
+)
+
+// Pass 3: duplicate-ID collisions and trigger subsumption across the
+// active universe (built-ins plus all loaded packs). Findings anchor at
+// pack rules — built-ins are context; for pack/pack pairs the
+// later-defined rule is the finding site.
+
+// ruleAt identifies one rule in the universe.
+type ruleAt struct {
+	id     string
+	origin string // "built-in" or pack name
+	pack   *ruledsl.Pack
+	pr     *ruledsl.PackRule // nil for built-ins
+	syntax *ruledsl.Syntax
+}
+
+func (r ruleAt) describe() string {
+	if r.pr == nil {
+		return fmt.Sprintf("built-in rule %s", r.id)
+	}
+	return fmt.Sprintf("rule %s (%s line %d)", r.id, r.origin, r.pr.Line)
+}
+
+// universe flattens built-ins and pack rules in definition order. Built-in
+// formulas are written in the DSL, so they parse into the same syntax the
+// packs use; a built-in that does not parse is skipped (hand-written
+// closures without DSL notation have no syntactic trigger to compare).
+func universe(packs []*ruledsl.Pack, builtins []*rules.Rule) []ruleAt {
+	var out []ruleAt
+	for _, b := range builtins {
+		ra := ruleAt{id: b.ID, origin: "built-in"}
+		if syn, err := ruledsl.ParseSyntax(b.Formula); err == nil {
+			ra.syntax = syn
+		}
+		out = append(out, ra)
+	}
+	for _, p := range packs {
+		for i := range p.Rules {
+			pr := &p.Rules[i]
+			out = append(out, ruleAt{id: pr.ID, origin: p.Name, pack: p, pr: pr, syntax: pr.Syntax})
+		}
+	}
+	return out
+}
+
+// lintCollisions reports RL010 for every rule whose ID an earlier rule
+// (built-in, reserved alias, or pack) already claimed.
+func (l *linter) lintCollisions(packs []*ruledsl.Pack, builtins, reserved []*rules.Rule) {
+	uni := universe(packs, builtins)
+	first := map[string]ruleAt{}
+	for _, r := range reserved {
+		first[r.ID] = ruleAt{id: r.ID, origin: "built-in"}
+	}
+	for _, ra := range uni {
+		prev, taken := first[ra.id]
+		if !taken {
+			first[ra.id] = ra
+			continue
+		}
+		if ra.pr == nil {
+			continue // built-ins never collide with each other
+		}
+		l.add(ra.pack, ra.pr, ruledsl.Pos{Line: 1, Col: 1}, CodeIDCollision, SevError,
+			"rule id %s collides with %s", ra.id, prev.describe())
+	}
+}
+
+// lintSubsumption reports RL301/RL302 for pack rules whose trigger
+// duplicates or implies another rule's in the universe.
+func (l *linter) lintSubsumption(packs []*ruledsl.Pack, builtins []*rules.Rule) {
+	uni := universe(packs, builtins)
+	for i, a := range uni {
+		if a.pr == nil || a.syntax == nil {
+			continue // findings only anchor at parseable pack rules
+		}
+		for j, b := range uni {
+			if i == j || b.syntax == nil || a.id == b.id {
+				continue // same rule, or collision already reported
+			}
+			if b.pr != nil && j > i {
+				continue // pack/pack pairs report at the later rule only
+			}
+			ab := ruleImplies(a.syntax, b.syntax)
+			ba := ruleImplies(b.syntax, a.syntax)
+			switch {
+			case ab && ba:
+				l.add(a.pack, a.pr, a.syntax.Clauses[0].Pos, CodeDuplicate, SevWarn,
+					"duplicate of %s: identical trigger", b.describe())
+			case ab:
+				l.add(a.pack, a.pr, a.syntax.Clauses[0].Pos, CodeSubsumed, SevWarn,
+					"every match of this rule is already matched by %s", b.describe())
+			case ba:
+				l.add(a.pack, a.pr, a.syntax.Clauses[0].Pos, CodeSubsumed, SevWarn,
+					"this rule shadows %s: every match of that rule also matches this one", b.describe())
+			}
+		}
+	}
+}
+
+// ruleImplies reports whether rule A's trigger implies rule B's: whenever
+// A matches, B matches. Conservative and purely syntactic — false
+// negatives are fine (no finding), false positives are not.
+func ruleImplies(a, b *ruledsl.Syntax) bool {
+	for _, bc := range b.Clauses {
+		ok := false
+		for _, ac := range a.Clauses {
+			if ac.Negated != bc.Negated || ac.Class != bc.Class {
+				continue
+			}
+			if !bc.Negated && implies(ac.Formula, bc.Formula) {
+				ok = true
+				break
+			}
+			// ¬f_a ⇒ ¬f_b iff f_b ⇒ f_a.
+			if bc.Negated && implies(bc.Formula, ac.Formula) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// implies reports a ⇒ b for clause formulas, by structural rules:
+// conjunctions are stronger than their parts, disjunctions weaker, plus
+// atom-level implication for calls, comparisons, and prefixes.
+func implies(a, b ruledsl.Formula) bool {
+	if canon(a) == canon(b) {
+		return true
+	}
+	switch bb := b.(type) {
+	case ruledsl.OrExpr:
+		for _, k := range bb.Kids {
+			if implies(a, k) {
+				return true
+			}
+		}
+	case ruledsl.AndExpr:
+		all := true
+		for _, k := range bb.Kids {
+			if !implies(a, k) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	switch aa := a.(type) {
+	case ruledsl.AndExpr:
+		for _, k := range aa.Kids {
+			if implies(k, b) {
+				return true
+			}
+		}
+	case ruledsl.OrExpr:
+		all := len(aa.Kids) > 0
+		for _, k := range aa.Kids {
+			if !implies(k, b) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return atomImplies(a, b)
+}
+
+// atomImplies covers implication between single atoms.
+func atomImplies(a, b ruledsl.Formula) bool {
+	switch bb := b.(type) {
+	case ruledsl.CallAtom:
+		aa, ok := a.(ruledsl.CallAtom)
+		if !ok || aa.Method != bb.Method {
+			return false
+		}
+		if !bb.HasArgs {
+			return true // constrained call implies bare call
+		}
+		if !aa.HasArgs || len(aa.Args) != len(bb.Args) {
+			return false
+		}
+		for i := range bb.Args {
+			bp, ap := bb.Args[i], aa.Args[i]
+			switch bp.Kind {
+			case ruledsl.ArgAny:
+				// matches anything
+			case ruledsl.ArgVar:
+				if ap.Kind != ruledsl.ArgVar || ap.Name != bp.Name {
+					return false
+				}
+			case ruledsl.ArgLit:
+				if ap.Kind != ruledsl.ArgLit ||
+					ruledsl.NormLiteral(ap.Name) != ruledsl.NormLiteral(bp.Name) {
+					return false
+				}
+			}
+		}
+		return true
+	case ruledsl.CmpAtom:
+		aa, ok := a.(ruledsl.CmpAtom)
+		if !ok || aa.Var != bb.Var {
+			return false
+		}
+		return cmpImplies(aa, bb)
+	case ruledsl.StartsAtom:
+		switch aa := a.(type) {
+		case ruledsl.StartsAtom:
+			// A longer required prefix implies a shorter one.
+			return aa.Var == bb.Var &&
+				strings.HasPrefix(ruledsl.NormLiteral(aa.Value), ruledsl.NormLiteral(bb.Value))
+		case ruledsl.CmpAtom:
+			// X=lit implies startsWith(X,p) when lit starts with p.
+			return aa.Var == bb.Var && aa.Op == ruledsl.OpEq &&
+				!ruledsl.IsTopLit(aa.Value) &&
+				strings.HasPrefix(ruledsl.NormLiteral(aa.Value), ruledsl.NormLiteral(bb.Value))
+		}
+	}
+	return false
+}
+
+// cmpImplies decides a ⇒ b for two comparisons on the same variable.
+func cmpImplies(a, b ruledsl.CmpAtom) bool {
+	an, aNum := parseNum(a.Value)
+	bn, bNum := parseNum(b.Value)
+	if a.Op == ruledsl.OpEq {
+		switch b.Op {
+		case ruledsl.OpNe:
+			return ruledsl.NormLiteral(a.Value) != ruledsl.NormLiteral(b.Value) &&
+				!ruledsl.IsTopLit(a.Value) && !ruledsl.IsTopLit(b.Value)
+		case ruledsl.OpLt:
+			return aNum && bNum && an < bn
+		case ruledsl.OpLe:
+			return aNum && bNum && an <= bn
+		case ruledsl.OpGt:
+			return aNum && bNum && an > bn
+		case ruledsl.OpGe:
+			return aNum && bNum && an >= bn
+		}
+		return false
+	}
+	if !aNum || !bNum {
+		return false
+	}
+	// Normalize to inclusive bounds: X<n ≡ X≤n-1, X>n ≡ X≥n+1.
+	switch {
+	case (a.Op == ruledsl.OpLt || a.Op == ruledsl.OpLe) &&
+		(b.Op == ruledsl.OpLt || b.Op == ruledsl.OpLe):
+		aHi, bHi := an, bn
+		if a.Op == ruledsl.OpLt {
+			aHi--
+		}
+		if b.Op == ruledsl.OpLt {
+			bHi--
+		}
+		return aHi <= bHi
+	case (a.Op == ruledsl.OpGt || a.Op == ruledsl.OpGe) &&
+		(b.Op == ruledsl.OpGt || b.Op == ruledsl.OpGe):
+		aLo, bLo := an, bn
+		if a.Op == ruledsl.OpGt {
+			aLo++
+		}
+		if b.Op == ruledsl.OpGt {
+			bLo++
+		}
+		return aLo >= bLo
+	}
+	return false
+}
+
+func parseNum(s string) (int64, bool) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n, err == nil
+}
+
+// canon renders a formula to a canonical string: normalized literals,
+// sorted AND/OR operand lists. Equal canons ⇒ equivalent formulas (the
+// converse does not hold, which is fine for a conservative check).
+func canon(f ruledsl.Formula) string {
+	switch x := f.(type) {
+	case ruledsl.AndExpr:
+		return "and(" + canonKids(x.Kids) + ")"
+	case ruledsl.OrExpr:
+		return "or(" + canonKids(x.Kids) + ")"
+	case ruledsl.NotExpr:
+		return "not(" + canon(x.Kid) + ")"
+	case ruledsl.CallAtom:
+		if !x.HasArgs {
+			return "call(" + x.Method + ")"
+		}
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			switch a.Kind {
+			case ruledsl.ArgAny:
+				parts[i] = "_"
+			case ruledsl.ArgVar:
+				parts[i] = "$" + a.Name
+			case ruledsl.ArgLit:
+				parts[i] = "'" + ruledsl.NormLiteral(a.Name)
+			}
+		}
+		return "call(" + x.Method + ";" + strings.Join(parts, ",") + ")"
+	case ruledsl.CmpAtom:
+		return "cmp(" + x.Var + ";" + x.Op.String() + ";" + ruledsl.NormLiteral(x.Value) + ")"
+	case ruledsl.StartsAtom:
+		return "sw(" + x.Var + ";" + ruledsl.NormLiteral(x.Value) + ")"
+	case ruledsl.CtxAtom:
+		if x.HasOp {
+			return fmt.Sprintf("ctx(%s;%s;%d)", x.Name, x.Op, x.Num)
+		}
+		return "ctx(" + x.Name + ")"
+	}
+	return "?"
+}
+
+func canonKids(kids []ruledsl.Formula) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = canon(k)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -69,6 +69,10 @@ type CheckResponse struct {
 	// TraceID identifies this request's trace when the server runs with
 	// tracing on (look it up at /debug/traces/<id>); absent otherwise.
 	TraceID string `json:"trace_id,omitempty"`
+	// RulesEpoch is the generation of the rule set that evaluated this
+	// request; it bumps on every successful hot reload. Absent when the
+	// server runs without rule packs.
+	RulesEpoch int64 `json:"rules_epoch,omitempty"`
 }
 
 // Violation is one matched rule on the wire.
@@ -328,11 +332,14 @@ func (s *Server) handleCheck(ctx context.Context, w http.ResponseWriter, r *http
 			fmt.Sprintf("max_inline must be at least 0 (got %d)", req.MaxInline))
 		return
 	}
-	ruleSet := s.opts.Rules
+	// One atomic load pins the rule-set generation for the whole request:
+	// a concurrent hot reload affects the next request, never this one.
+	rstate := s.rstate.Load()
+	ruleSet := rstate.set
 	if len(req.Rules) > 0 {
 		ruleSet = nil
 		for _, id := range req.Rules {
-			rl := rules.ByID(id)
+			rl := rstate.lookup(id)
 			if rl == nil {
 				s.writeError(ctx, w, http.StatusUnprocessableEntity, "io", fmt.Sprintf("unknown rule %q", id))
 				return
@@ -385,6 +392,7 @@ func (s *Server) handleCheck(ctx context.Context, w http.ResponseWriter, r *http
 	}
 	resp.Traces = out.Traces
 	resp.TraceID = trace.FromContext(ctx).TraceID()
+	resp.RulesEpoch = rstate.epoch
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -498,6 +506,9 @@ func (s *Server) failRemaining(resp *AnalyzeResponse, specs []ChangeSpec, from, 
 type healthResponse struct {
 	Status   string `json:"status"`
 	Degraded bool   `json:"degraded,omitempty"`
+	// RulesEpoch advertises the live rule-set generation so an operator
+	// can confirm a hot reload landed fleet-wide. Absent without packs.
+	RulesEpoch int64 `json:"rules_epoch,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -513,7 +524,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Degraded: s.deg.degraded()})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Degraded: s.deg.degraded(), RulesEpoch: s.RulesEpoch()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/rulelint"
+	"repro/internal/rules"
+)
+
+// Hot rule reload. The live rule set lives behind an atomic pointer: every
+// request loads it once at entry and keeps that snapshot, so a swap
+// mid-request can never mix epochs. Reloads re-run the full compile → lint
+// → register pipeline over the configured pack files; a failed lint keeps
+// the previous set live — a bad push degrades to a rejected reload, never
+// to a checker running half a rule set.
+
+// ruleState is one immutable generation of the active rule set.
+type ruleState struct {
+	set   []*rules.Rule
+	byID  map[string]*rules.Rule
+	epoch int64
+}
+
+func newRuleState(set []*rules.Rule, epoch int64) *ruleState {
+	rs := &ruleState{set: set, epoch: epoch, byID: make(map[string]*rules.Rule, len(set))}
+	for _, r := range set {
+		rs.byID[r.ID] = r
+	}
+	return rs
+}
+
+// lookup resolves a request's rule-ID filter against the active set first,
+// then the static registry — so pack rules are addressable by ID and the
+// CL1–CL5 aliases keep resolving exactly as before packs existed.
+func (rs *ruleState) lookup(id string) *rules.Rule {
+	if r := rs.byID[id]; r != nil {
+		return r
+	}
+	return rules.ByID(id)
+}
+
+// ReloadResult is the outcome of one reload attempt (and the JSON body of
+// POST /v1/rules/reload).
+type ReloadResult struct {
+	OK bool `json:"ok"`
+	// Epoch is the live epoch after the attempt: bumped on success,
+	// unchanged on failure.
+	Epoch int64 `json:"rules_epoch"`
+	// Rules counts the active rule set on success.
+	Rules int `json:"rules,omitempty"`
+	// Report carries the lint findings of the attempt (also on success —
+	// warnings load under protest).
+	Report *rulelint.Report `json:"report,omitempty"`
+	// Err describes an I/O or configuration failure.
+	Err string `json:"error,omitempty"`
+}
+
+// ReloadRules re-reads the configured rule packs and atomically swaps in
+// the freshly linted set, bumping the epoch. On any failure — unreadable
+// file, or error-level findings without RulesLax — the previous set stays
+// live and the epoch does not move.
+func (s *Server) ReloadRules() ReloadResult {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.rstate.Load()
+	if len(s.opts.RulePacks) == 0 {
+		return ReloadResult{Epoch: cur.epoch, Err: "no rule packs configured (-rules)"}
+	}
+	res, err := rulelint.Load(s.opts.RulePacks)
+	if err != nil {
+		s.reg.Counter("serve.rules.reload_failed").Inc()
+		return ReloadResult{Epoch: cur.epoch, Err: err.Error()}
+	}
+	res.Observe(s.reg)
+	if res.Report.HasErrors() && !s.opts.RulesLax {
+		s.reg.Counter("serve.rules.reload_failed").Inc()
+		return ReloadResult{Epoch: cur.epoch, Report: res.Report}
+	}
+	next := newRuleState(res.Active, cur.epoch+1)
+	s.rstate.Store(next)
+	s.reg.Counter("serve.rules.reloads").Inc()
+	s.reg.Gauge("serve.rules.epoch").Set(next.epoch)
+	return ReloadResult{OK: true, Epoch: next.epoch, Rules: len(next.set), Report: res.Report}
+}
+
+// RulesEpoch returns the live rule-set epoch (0 = no packs configured).
+func (s *Server) RulesEpoch() int64 { return s.rstate.Load().epoch }
+
+// handleRulesReload is POST /v1/rules/reload. It bypasses admission — a
+// reload is a cheap operator action that must work while the analysis
+// queue is saturated — but still refuses during drain.
+func (s *Server) handleRulesReload(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("serve.rules_reload.requests").Inc()
+	if s.draining.Load() {
+		s.writeError(r.Context(), w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeError(r.Context(), w, http.StatusMethodNotAllowed, "request", "use POST")
+		return
+	}
+	out := s.ReloadRules()
+	status := http.StatusOK
+	if !out.OK {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, out)
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rulelint"
+)
+
+// kgSource trips any pack rule over KeyGenerator.init with a threshold
+// above 32 bits.
+const kgSource = `import javax.crypto.KeyGenerator;
+class App {
+  void f() throws Exception {
+    KeyGenerator kg = KeyGenerator.getInstance("AES");
+    kg.init(32);
+  }
+}`
+
+const (
+	packV1     = "P900 | v1 | KeyGenerator : init(X) ∧ X<64\n"
+	packV2     = "P901 | v2 | KeyGenerator : init(X) ∧ X<512\n"
+	packBroken = "R7 | shadow | Cipher : getInstance(X) ∧ X=AES\n"
+)
+
+func writePack(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRuleServer mirrors the CLI wiring: load+lint the packs, hand the
+// merged set and the paths to the server.
+func newRuleServer(t *testing.T, paths []string, lax bool) *Server {
+	t.Helper()
+	res, err := rulelint.Load(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.HasErrors() && !lax {
+		t.Fatalf("test pack does not lint:\n%s", res.Report.Render())
+	}
+	return newTestServer(t, Options{Rules: res.Active, RulePacks: paths, RulesLax: lax})
+}
+
+func checkIDs(t *testing.T, s *Server) (map[string]bool, int64) {
+	t.Helper()
+	w := post(t, s, "/v1/check", checkBody(t, CheckRequest{Sources: map[string]string{"App.java": kgSource}}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("check status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp CheckResponse
+	decodeResp(t, w, &resp)
+	ids := map[string]bool{}
+	for _, v := range resp.Violations {
+		ids[v.Rule] = true
+	}
+	return ids, resp.RulesEpoch
+}
+
+func TestReloadSwapsAndBumpsEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pack.rules")
+	writePack(t, path, packV1)
+	s := newRuleServer(t, []string{path}, false)
+
+	ids, epoch := checkIDs(t, s)
+	if !ids["P900"] || ids["P901"] {
+		t.Fatalf("initial set: got %v, want P900 only", ids)
+	}
+	if epoch != 1 {
+		t.Fatalf("initial rules_epoch = %d, want 1", epoch)
+	}
+
+	writePack(t, path, packV2)
+	w := post(t, s, "/v1/rules/reload", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload status = %d, body %s", w.Code, w.Body.String())
+	}
+	var out ReloadResult
+	decodeResp(t, w, &out)
+	if !out.OK || out.Epoch != 2 {
+		t.Fatalf("reload result: %+v, want ok epoch 2", out)
+	}
+
+	ids, epoch = checkIDs(t, s)
+	if ids["P900"] || !ids["P901"] {
+		t.Fatalf("reloaded set: got %v, want P901 only", ids)
+	}
+	if epoch != 2 {
+		t.Fatalf("reloaded rules_epoch = %d, want 2", epoch)
+	}
+}
+
+func TestReloadFailureKeepsOldSet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pack.rules")
+	writePack(t, path, packV1)
+	s := newRuleServer(t, []string{path}, false)
+
+	// A pack with an error finding (RL010 built-in collision): refused.
+	writePack(t, path, packBroken)
+	w := post(t, s, "/v1/rules/reload", "")
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("broken reload status = %d, want 422 (body %s)", w.Code, w.Body.String())
+	}
+	var out ReloadResult
+	decodeResp(t, w, &out)
+	if out.OK || out.Report == nil || !out.Report.HasErrors() {
+		t.Fatalf("broken reload result: %+v, want refused with report", out)
+	}
+
+	// An unreadable pack file: refused too.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	w = post(t, s, "/v1/rules/reload", "")
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("missing-file reload status = %d, want 422", w.Code)
+	}
+
+	// Both failures kept the old generation live.
+	ids, epoch := checkIDs(t, s)
+	if !ids["P900"] || epoch != 1 {
+		t.Fatalf("after failed reloads: ids %v epoch %d, want P900 at epoch 1", ids, epoch)
+	}
+}
+
+func TestReloadLaxLoadsWhatCompiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pack.rules")
+	writePack(t, path, packV1)
+	s := newRuleServer(t, []string{path}, true)
+
+	// Under -rules-lax an erroring pack still swaps: the built-in wins the
+	// collision, the shadow rule is dropped, and the epoch bumps.
+	writePack(t, path, packBroken+packV2)
+	w := post(t, s, "/v1/rules/reload", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("lax reload status = %d, body %s", w.Code, w.Body.String())
+	}
+	ids, epoch := checkIDs(t, s)
+	if ids["P900"] || !ids["P901"] || epoch != 2 {
+		t.Fatalf("lax reload: ids %v epoch %d, want P901 at epoch 2", ids, epoch)
+	}
+}
+
+func TestReloadWithoutPacks(t *testing.T) {
+	s := newTestServer(t, Options{})
+	w := post(t, s, "/v1/rules/reload", "")
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("no-pack reload status = %d, want 422", w.Code)
+	}
+	var out ReloadResult
+	decodeResp(t, w, &out)
+	if out.OK || !strings.Contains(out.Err, "no rule packs configured") {
+		t.Fatalf("no-pack reload result: %+v", out)
+	}
+	// Without packs nothing mentions an epoch: the no-flag byte-compat
+	// contract (golden_test.go pins the full bodies; this pins the field).
+	cw := post(t, s, "/v1/check", checkBody(t, CheckRequest{Sources: map[string]string{"App.java": ecbSource}}))
+	if strings.Contains(cw.Body.String(), "rules_epoch") {
+		t.Fatalf("no-pack check response leaks rules_epoch: %s", cw.Body.String())
+	}
+}
+
+func TestReloadMethodAndDrain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pack.rules")
+	writePack(t, path, packV1)
+	s := newRuleServer(t, []string{path}, false)
+	if w := get(t, s, "/v1/rules/reload"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload status = %d, want 405", w.Code)
+	}
+}
+
+func TestReadyzReportsEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pack.rules")
+	writePack(t, path, packV1)
+	s := newRuleServer(t, []string{path}, false)
+	w := get(t, s, "/readyz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz status = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), `"rules_epoch":1`) {
+		t.Fatalf("readyz body missing rules_epoch: %s", w.Body.String())
+	}
+}
+
+// TestConcurrentReload hammers /v1/check from many goroutines while the
+// rule set hot-swaps underneath them (run under -race in CI): every
+// response must reflect exactly one generation — the epoch and the
+// violation set always agree.
+func TestConcurrentReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pack.rules")
+	writePack(t, path, packV1)
+	s := newRuleServer(t, []string{path}, false)
+
+	body := checkBody(t, CheckRequest{Sources: map[string]string{"App.java": kgSource}})
+	const checkers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < checkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Goroutine-safe check path: t.Errorf only (no Fatal off
+				// the test goroutine).
+				req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+				w := httptest.NewRecorder()
+				s.Handler().ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					t.Errorf("check status = %d, body %s", w.Code, w.Body.String())
+					return
+				}
+				var resp CheckResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Errorf("decoding response %q: %v", w.Body.String(), err)
+					return
+				}
+				ids := map[string]bool{}
+				for _, v := range resp.Violations {
+					ids[v.Rule] = true
+				}
+				odd := resp.RulesEpoch%2 == 1
+				if odd && (!ids["P900"] || ids["P901"]) {
+					t.Errorf("epoch %d (v1) saw %v", resp.RulesEpoch, ids)
+				}
+				if !odd && (ids["P900"] || !ids["P901"]) {
+					t.Errorf("epoch %d (v2) saw %v", resp.RulesEpoch, ids)
+				}
+			}
+		}()
+	}
+
+	const reloads = 6
+	for i := 0; i < reloads; i++ {
+		if i%2 == 0 {
+			writePack(t, path, packV2)
+		} else {
+			writePack(t, path, packV1)
+		}
+		w := post(t, s, "/v1/rules/reload", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("reload %d status = %d, body %s", i, w.Code, w.Body.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.RulesEpoch(); got != reloads+1 {
+		t.Fatalf("final epoch = %d, want %d", got, reloads+1)
+	}
+}

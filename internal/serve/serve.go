@@ -55,6 +55,16 @@ type Options struct {
 	Checker core.Options
 	// Rules is the rule set /v1/check evaluates (default: all).
 	Rules []*rules.Rule
+	// RulePacks are the rule-pack file paths behind the active set, kept
+	// for hot reload: SIGHUP or POST /v1/rules/reload re-reads, re-lints,
+	// and atomically swaps them in. Empty disables reload (and the
+	// rules_epoch field, keeping responses byte-identical to a build
+	// without pack support).
+	RulePacks []string
+	// RulesLax mirrors -rules-lax for reloads: a pack with error-level
+	// lint findings still swaps in (broken rules skipped). Off, a failed
+	// lint keeps the previous rule set live.
+	RulesLax bool
 	// MaxConcurrent bounds concurrently running analyses (default:
 	// GOMAXPROCS, matching the worker pool the batch CLIs would use).
 	MaxConcurrent int
@@ -145,6 +155,11 @@ type Server struct {
 	tracer *trace.Tracer
 	traces *trace.Store
 
+	// rstate is the live rule set, swapped atomically by ReloadRules so
+	// in-flight requests keep the set they started with.
+	rstate   atomic.Pointer[ruleState]
+	reloadMu sync.Mutex // serializes reloads (epoch bumps are strictly ordered)
+
 	draining atomic.Bool
 	inflight atomic.Int64
 	done     sync.WaitGroup // in-flight API requests, for drain accounting
@@ -181,12 +196,21 @@ func New(opts Options) *Server {
 		deg:    newDegrader(opts.DegradeThreshold, opts.DegradeWindow, opts.DegradeCooldown, opts.Now, reg),
 		tracer: opts.Tracer,
 	}
+	// Epoch 0 means "no packs configured": the rules_epoch field stays off
+	// the wire and every response is byte-identical to a pack-less build.
+	// With packs, the set loaded at startup is epoch 1.
+	epoch := int64(0)
+	if len(opts.RulePacks) > 0 {
+		epoch = 1
+	}
+	s.rstate.Store(newRuleState(opts.Rules, epoch))
 	if s.tracer != nil {
 		s.traces = trace.NewStore(opts.TraceStore, reg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", s.api("check", s.handleCheck))
 	mux.HandleFunc("/v1/analyze", s.api("analyze", s.handleAnalyze))
+	mux.HandleFunc("/v1/rules/reload", s.handleRulesReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

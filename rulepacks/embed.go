@@ -1,0 +1,47 @@
+// Package rulepacks ships the curated rule packs that extend the built-in
+// 13 rules with CryptoGuard/survey-taxonomy misuse classes: transport
+// security and key storage (tls-keystore.rules) and key generation and MAC
+// strength (keygen-prng.rules).
+//
+// The packs are plain data — loading them is always an explicit choice
+// (the -rules flag, serve.Options.RulePacks); no tool evaluates them by
+// default. The embedded copies exist so tests, the CI lint gate, and the
+// fuzz corpora pin the exact shipped bytes.
+package rulepacks
+
+import (
+	"embed"
+	"sort"
+)
+
+//go:embed *.rules
+var fs embed.FS
+
+// Files returns pack name → content for every shipped pack, rebuilt on
+// each call (callers may mutate the map).
+func Files() map[string]string {
+	out := map[string]string{}
+	entries, err := fs.ReadDir(".")
+	if err != nil {
+		panic(err) // embedded FS: unreachable
+	}
+	for _, e := range entries {
+		b, err := fs.ReadFile(e.Name())
+		if err != nil {
+			panic(err)
+		}
+		out[e.Name()] = string(b)
+	}
+	return out
+}
+
+// Names returns the shipped pack names in sorted order.
+func Names() []string {
+	files := Files()
+	out := make([]string, 0, len(files))
+	for name := range files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,8 @@
+// Violates P101: SSL/SSLv2/SSLv3 contexts are broken.
+import javax.net.ssl.SSLContext;
+
+class P101 {
+    void connect() throws Exception {
+        SSLContext ctx = SSLContext.getInstance("SSLv3");
+    }
+}

@@ -1,0 +1,8 @@
+// Fixed: TLS 1.2 context.
+import javax.net.ssl.SSLContext;
+
+class P101 {
+    void connect() throws Exception {
+        SSLContext ctx = SSLContext.getInstance("TLSv1.2");
+    }
+}

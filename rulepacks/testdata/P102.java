@@ -1,0 +1,8 @@
+// Violates P102: TLS pinned below 1.2.
+import javax.net.ssl.SSLContext;
+
+class P102 {
+    void connect() throws Exception {
+        SSLContext ctx = SSLContext.getInstance("TLSv1.1");
+    }
+}

@@ -1,0 +1,8 @@
+// Fixed: TLS 1.3 context.
+import javax.net.ssl.SSLContext;
+
+class P102 {
+    void connect() throws Exception {
+        SSLContext ctx = SSLContext.getInstance("TLSv1.3");
+    }
+}

@@ -1,0 +1,9 @@
+// Violates P103: process-global hostname verifier override.
+import javax.net.ssl.HttpsURLConnection;
+import javax.net.ssl.HostnameVerifier;
+
+class P103 {
+    void install(HostnameVerifier v) {
+        HttpsURLConnection.setDefaultHostnameVerifier(v);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixed: no global verifier override; a plain TLS context instead.
+import javax.net.ssl.SSLContext;
+
+class P103 {
+    void connect() throws Exception {
+        SSLContext ctx = SSLContext.getInstance("TLSv1.3");
+    }
+}

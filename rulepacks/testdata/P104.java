@@ -1,0 +1,10 @@
+// Violates P104: keystore password is a compile-time constant.
+import java.security.KeyStore;
+import java.io.InputStream;
+
+class P104 {
+    void open(InputStream in) throws Exception {
+        KeyStore ks = KeyStore.getInstance("PKCS12");
+        ks.load(in, "changeit".toCharArray());
+    }
+}

@@ -1,0 +1,10 @@
+// Fixed: password supplied by the caller.
+import java.security.KeyStore;
+import java.io.InputStream;
+
+class P104 {
+    void open(InputStream in, char[] password) throws Exception {
+        KeyStore ks = KeyStore.getInstance("PKCS12");
+        ks.load(in, password);
+    }
+}

@@ -1,0 +1,8 @@
+// Violates P105: RSA with PKCS#1 v1.5 padding.
+import javax.crypto.Cipher;
+
+class P105 {
+    void wrap() throws Exception {
+        Cipher c = Cipher.getInstance("RSA/ECB/PKCS1Padding");
+    }
+}

@@ -1,0 +1,8 @@
+// Fixed: OAEP padding.
+import javax.crypto.Cipher;
+
+class P105 {
+    void wrap() throws Exception {
+        Cipher c = Cipher.getInstance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding");
+    }
+}

@@ -1,0 +1,8 @@
+// Violates P106: legacy JKS keystore format.
+import java.security.KeyStore;
+
+class P106 {
+    void open() throws Exception {
+        KeyStore ks = KeyStore.getInstance("JKS");
+    }
+}

@@ -1,0 +1,8 @@
+// Fixed: PKCS12 keystore format.
+import java.security.KeyStore;
+
+class P106 {
+    void open() throws Exception {
+        KeyStore ks = KeyStore.getInstance("PKCS12");
+    }
+}

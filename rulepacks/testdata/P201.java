@@ -1,0 +1,9 @@
+// Violates P201: 64-bit symmetric key.
+import javax.crypto.KeyGenerator;
+
+class P201 {
+    void gen() throws Exception {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        kg.init(64);
+    }
+}

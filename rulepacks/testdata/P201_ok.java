@@ -1,0 +1,9 @@
+// Fixed: 256-bit symmetric key.
+import javax.crypto.KeyGenerator;
+
+class P201 {
+    void gen() throws Exception {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        kg.init(256);
+    }
+}

@@ -1,0 +1,9 @@
+// Violates P202: 1024-bit RSA modulus.
+import java.security.KeyPairGenerator;
+
+class P202 {
+    void gen() throws Exception {
+        KeyPairGenerator kpg = KeyPairGenerator.getInstance("RSA");
+        kpg.initialize(1024);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixed: 4096-bit RSA modulus.
+import java.security.KeyPairGenerator;
+
+class P202 {
+    void gen() throws Exception {
+        KeyPairGenerator kpg = KeyPairGenerator.getInstance("RSA");
+        kpg.initialize(4096);
+    }
+}

@@ -1,0 +1,8 @@
+// Violates P203: HMAC over MD5.
+import javax.crypto.Mac;
+
+class P203 {
+    void tag() throws Exception {
+        Mac mac = Mac.getInstance("HmacMD5");
+    }
+}

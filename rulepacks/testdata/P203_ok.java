@@ -1,0 +1,8 @@
+// Fixed: HMAC over SHA-256.
+import javax.crypto.Mac;
+
+class P203 {
+    void tag() throws Exception {
+        Mac mac = Mac.getInstance("HmacSHA256");
+    }
+}

@@ -1,0 +1,8 @@
+// Violates P204: 500 PBE iterations via the 3-argument spec.
+import javax.crypto.spec.PBEKeySpec;
+
+class P204 {
+    void derive(char[] password, byte[] salt) {
+        PBEKeySpec spec = new PBEKeySpec(password, salt, 500);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixed: 10000 PBE iterations.
+import javax.crypto.spec.PBEKeySpec;
+
+class P204 {
+    void derive(char[] password, byte[] salt) {
+        PBEKeySpec spec = new PBEKeySpec(password, salt, 10000);
+    }
+}

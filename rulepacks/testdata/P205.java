@@ -1,0 +1,8 @@
+// Violates P205: key generation for a legacy cipher.
+import javax.crypto.KeyGenerator;
+
+class P205 {
+    void gen() throws Exception {
+        KeyGenerator kg = KeyGenerator.getInstance("DES");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixed: AES key generation.
+import javax.crypto.KeyGenerator;
+
+class P205 {
+    void gen() throws Exception {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        kg.init(256);
+    }
+}

@@ -1,0 +1,10 @@
+// Violates P206: generateKey without an explicit init.
+import javax.crypto.KeyGenerator;
+import javax.crypto.SecretKey;
+
+class P206 {
+    void gen() throws Exception {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        SecretKey key = kg.generateKey();
+    }
+}

@@ -1,0 +1,11 @@
+// Fixed: explicit 256-bit init before generateKey.
+import javax.crypto.KeyGenerator;
+import javax.crypto.SecretKey;
+
+class P206 {
+    void gen() throws Exception {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        kg.init(256);
+        SecretKey key = kg.generateKey();
+    }
+}
